@@ -1,0 +1,63 @@
+// Command mobbr-calibrate runs the calibration anchor points the CPU cost
+// model was fitted against and prints simulated vs. paper values. Use it
+// after touching cpumodel costs, pacing sizing, or CC constants.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mobbr/internal/core"
+	"mobbr/internal/device"
+)
+
+type anchor struct {
+	name  string
+	spec  core.Spec
+	paper float64 // Mbps
+}
+
+func main() {
+	dur := flag.Duration("dur", 5*time.Second, "per-run simulated duration")
+	seeds := flag.Int("seeds", 1, "seeds per point")
+	flag.Parse()
+
+	off := false
+	anchors := []anchor{
+		{"P4 High  cubic 1c", core.Spec{CPU: device.HighEnd, CC: "cubic", Conns: 1}, 930},
+		{"P4 High  bbr   1c", core.Spec{CPU: device.HighEnd, CC: "bbr", Conns: 1}, 915},
+		{"P4 High  bbr  20c", core.Spec{CPU: device.HighEnd, CC: "bbr", Conns: 20}, 915},
+		{"P4 Low   cubic 1c", core.Spec{CPU: device.LowEnd, CC: "cubic", Conns: 1}, 364},
+		{"P4 Low   cubic20c", core.Spec{CPU: device.LowEnd, CC: "cubic", Conns: 20}, 310},
+		{"P4 Low   bbr   1c", core.Spec{CPU: device.LowEnd, CC: "bbr", Conns: 1}, 325},
+		{"P4 Low   bbr   5c", core.Spec{CPU: device.LowEnd, CC: "bbr", Conns: 5}, 290},
+		{"P4 Low   bbr  20c", core.Spec{CPU: device.LowEnd, CC: "bbr", Conns: 20}, 138},
+		{"P4 Low   bbr20c!p", core.Spec{CPU: device.LowEnd, CC: "bbr", Conns: 20, PacingOverride: &off}, 373},
+		{"P4 Mid   cubic20c", core.Spec{CPU: device.MidEnd, CC: "cubic", Conns: 20}, 800},
+		{"P4 Mid   bbr  20c", core.Spec{CPU: device.MidEnd, CC: "bbr", Conns: 20}, 430},
+		{"P4 Def   cubic20c", core.Spec{CPU: device.Default, CC: "cubic", Conns: 20}, 680},
+		{"P4 Def   bbr  20c", core.Spec{CPU: device.Default, CC: "bbr", Conns: 20}, 430},
+		{"P4 Def   bbr   1c", core.Spec{CPU: device.Default, CC: "bbr", Conns: 1}, 780},
+		{"P4 Def   cubic 1c", core.Spec{CPU: device.Default, CC: "cubic", Conns: 1}, 900},
+		{"P6 Low   bbr  20c", core.Spec{Device: device.Pixel6, CPU: device.LowEnd, CC: "bbr", Conns: 20}, 140},
+		{"P6 Low   cubic20c", core.Spec{Device: device.Pixel6, CPU: device.LowEnd, CC: "cubic", Conns: 20}, 255},
+	}
+
+	fmt.Printf("%-20s %10s %10s %8s %8s %8s %8s\n",
+		"anchor", "sim Mbps", "paper", "ratio", "rtt ms", "retx", "cpu%")
+	for _, a := range anchors {
+		a.spec.Duration = *dur
+		a.spec.Warmup = *dur / 5
+		agg, err := core.RunSeeds(a.spec, *seeds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sim := agg.GoodputMbps()
+		fmt.Printf("%-20s %10.0f %10.0f %8.2f %8.2f %8.0f %8.0f\n",
+			a.name, sim, a.paper, sim/a.paper,
+			agg.AvgRTT.Mean()/1e6, agg.Retransmits.Mean(), agg.CPUUtil.Mean()*100)
+	}
+}

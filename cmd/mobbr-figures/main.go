@@ -1,0 +1,101 @@
+// Command mobbr-figures runs the paper's headline figures on the simulated
+// testbed and draws them as terminal bar charts.
+//
+//	mobbr-figures            # Figures 2 (Low-End), 4 and 8
+//	mobbr-figures -dur 6s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mobbr/internal/core"
+	"mobbr/internal/device"
+	"mobbr/internal/render"
+)
+
+func run(spec core.Spec, dur time.Duration) float64 {
+	spec.Duration = dur
+	spec.Warmup = dur / 5
+	res, err := core.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return float64(res.Report.Goodput) / 1e6
+}
+
+func main() {
+	dur := flag.Duration("dur", 3*time.Second, "simulated duration per point")
+	flag.Parse()
+
+	// Figure 2a: Low-End, BBR vs Cubic across connection counts.
+	fmt.Println("═══ Figure 2a — Pixel 4 Low-End, Ethernet ═══")
+	var f2 []render.Chart
+	for _, cc := range []string{"cubic", "bbr"} {
+		ch := render.Chart{Title: cc}
+		for _, n := range []int{1, 5, 10, 20} {
+			g := run(core.Spec{CPU: device.LowEnd, CC: cc, Conns: n, Network: core.Ethernet}, *dur)
+			note := ""
+			if cc == "cubic" && n == 1 {
+				note = "paper: 364"
+			}
+			if cc == "cubic" && n == 20 {
+				note = "paper: 310"
+			}
+			if cc == "bbr" && n == 1 {
+				note = "paper: 325"
+			}
+			if cc == "bbr" && n == 20 {
+				note = "paper: 138"
+			}
+			ch.Bars = append(ch.Bars, render.Bar{
+				Label: fmt.Sprintf("%2d conns", n), Value: g, Note: note,
+			})
+		}
+		f2 = append(f2, ch)
+	}
+	if err := render.Grouped(os.Stdout, "Mbps", 400, f2...); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Figure 4: pacing on/off at 20 connections.
+	fmt.Println("═══ Figure 4 — BBR pacing on/off, 20 conns ═══")
+	off := false
+	f4 := render.Chart{Title: "goodput"}
+	for _, cfg := range []device.Config{device.LowEnd, device.MidEnd, device.Default} {
+		on := run(core.Spec{CPU: cfg, CC: "bbr", Conns: 20, Network: core.Ethernet}, *dur)
+		no := run(core.Spec{CPU: cfg, CC: "bbr", Conns: 20, Network: core.Ethernet,
+			PacingOverride: &off}, *dur)
+		f4.Bars = append(f4.Bars,
+			render.Bar{Label: fmt.Sprintf("%v paced", cfg), Value: on},
+			render.Bar{Label: fmt.Sprintf("%v unpaced", cfg), Value: no},
+		)
+	}
+	if err := render.Grouped(os.Stdout, "Mbps", 0, f4); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Figure 8: the stride sweep.
+	fmt.Println("═══ Figure 8 — pacing-stride sweep, 20 conns ═══")
+	var f8 []render.Chart
+	for _, cfg := range []device.Config{device.LowEnd, device.Default} {
+		ch := render.Chart{Title: cfg.String()}
+		for _, st := range []float64{1, 2, 5, 10, 20, 50} {
+			g := run(core.Spec{CPU: cfg, CC: "bbr", Conns: 20,
+				Network: core.Ethernet, Stride: st}, *dur)
+			ch.Bars = append(ch.Bars, render.Bar{
+				Label: fmt.Sprintf("%3.0fx", st), Value: g,
+			})
+		}
+		f8 = append(f8, ch)
+	}
+	if err := render.Grouped(os.Stdout, "Mbps", 700, f8...); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,55 @@
+// Command mobbr-repro regenerates the paper's tables and figures from the
+// simulated testbed and prints paper-style rows.
+//
+// Usage:
+//
+//	mobbr-repro                 # run everything
+//	mobbr-repro -exp fig8       # run one experiment
+//	mobbr-repro -dur 10s -seeds 5
+//	mobbr-repro -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mobbr/internal/repro"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (empty = all); see -list")
+	dur := flag.Duration("dur", repro.DefaultDuration, "simulated transfer duration per run")
+	seeds := flag.Int("seeds", repro.DefaultSeeds, "seeds per point")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range repro.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	exps := repro.All()
+	if *exp != "" {
+		e, err := repro.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		exps = []repro.Experiment{e}
+	}
+
+	start := time.Now()
+	for _, e := range exps {
+		rows, err := repro.RunExperiment(e, *dur, *seeds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		repro.Print(os.Stdout, e, rows)
+	}
+	fmt.Printf("(wall time %v)\n", time.Since(start).Round(time.Millisecond))
+}

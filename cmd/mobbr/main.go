@@ -1,0 +1,199 @@
+// Command mobbr runs one experiment on the simulated mobile-BBR testbed and
+// prints an iPerf3-style report.
+//
+// Examples:
+//
+//	mobbr -cc bbr -config low -conns 20
+//	mobbr -cc cubic -device pixel6 -network wifi -dur 10s
+//	mobbr -cc bbr -config default -conns 20 -stride 5
+//	mobbr -cc bbr -pacing=off -conns 20
+//	mobbr -cc bbr -fixed-rate 140Mbps -fixed-cwnd 70
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mobbr/internal/core"
+	"mobbr/internal/device"
+	"mobbr/internal/netem"
+	"mobbr/internal/units"
+)
+
+func main() {
+	var (
+		ccName  = flag.String("cc", "bbr", "congestion control: cubic, bbr, bbr2")
+		devName = flag.String("device", "pixel4", "phone: pixel4, pixel6")
+		cfgName = flag.String("config", "low", "CPU config: low, mid, high, default")
+		netName = flag.String("network", "ethernet", "network: ethernet, wifi, cellular")
+		conns   = flag.Int("conns", 1, "parallel connections (iperf3 -P)")
+		dur     = flag.Duration("dur", 5*time.Second, "transfer duration (iperf3 -t)")
+		seeds   = flag.Int("seeds", 1, "seeds to average over")
+		stride  = flag.Float64("stride", 1, "pacing stride (§6.2)")
+		pacingS = flag.String("pacing", "auto", "pacing: auto, on, off")
+		fixRate = flag.String("fixed-rate", "", "pin per-connection pacing rate, e.g. 140Mbps")
+		fixCwnd = flag.Int("fixed-cwnd", 0, "pin cwnd in packets (0 = off)")
+		noModel = flag.Bool("no-model", false, "disable the CC's per-ACK model (§5.1.1)")
+		hwPace  = flag.Bool("hw-pacing", false, "offload pacing timers to the NIC (§7.1.4)")
+		ival    = flag.Duration("interval", 0, "print iperf3-style interval reports (e.g. 1s)")
+		sndbuf  = flag.String("sndbuf", "", "per-socket send buffer, e.g. 1MB (default 256KB)")
+		tcRate  = flag.String("tc-rate", "", "router rate cap, e.g. 600Mbps")
+		tcDelay = flag.Duration("tc-delay", 0, "router added delay")
+		tcLoss  = flag.Float64("tc-loss", 0, "router random loss fraction")
+		tcQueue = flag.Int("tc-queue", 0, "router queue depth in packets")
+		tcECN   = flag.Int("tc-ecn", 0, "router ECN marking threshold in packets (0 = off)")
+		seed    = flag.Int64("seed", 1, "base RNG seed")
+	)
+	flag.Parse()
+
+	spec := core.Spec{
+		CC:             *ccName,
+		Conns:          *conns,
+		Duration:       *dur,
+		Warmup:         *dur / 5,
+		Stride:         *stride,
+		HardwarePacing: *hwPace,
+		FixedCwnd:      *fixCwnd,
+		DisableModel:   *noModel,
+		Seed:           *seed,
+		TC: netem.TC{
+			Delay:        *tcDelay,
+			Loss:         *tcLoss,
+			QueuePackets: *tcQueue,
+			ECNThreshold: *tcECN,
+		},
+	}
+
+	switch strings.ToLower(*devName) {
+	case "pixel4":
+		spec.Device = device.Pixel4
+	case "pixel6":
+		spec.Device = device.Pixel6
+	default:
+		fatalf("unknown device %q", *devName)
+	}
+	switch strings.ToLower(*cfgName) {
+	case "low":
+		spec.CPU = device.LowEnd
+	case "mid":
+		spec.CPU = device.MidEnd
+	case "high":
+		spec.CPU = device.HighEnd
+	case "default":
+		spec.CPU = device.Default
+	default:
+		fatalf("unknown CPU config %q", *cfgName)
+	}
+	switch strings.ToLower(*netName) {
+	case "ethernet":
+		spec.Network = core.Ethernet
+	case "wifi":
+		spec.Network = core.WiFi
+	case "cellular", "lte":
+		spec.Network = core.Cellular
+	case "5g", "mmwave":
+		spec.Network = core.Cellular5G
+	default:
+		fatalf("unknown network %q", *netName)
+	}
+	switch strings.ToLower(*pacingS) {
+	case "auto":
+	case "on":
+		on := true
+		spec.PacingOverride = &on
+	case "off":
+		off := false
+		spec.PacingOverride = &off
+	default:
+		fatalf("pacing must be auto, on or off")
+	}
+	if *fixRate != "" {
+		r, err := units.ParseBandwidth(*fixRate)
+		if err != nil {
+			fatalf("bad -fixed-rate: %v", err)
+		}
+		spec.FixedPacingRate = r
+	}
+	if *tcRate != "" {
+		r, err := units.ParseBandwidth(*tcRate)
+		if err != nil {
+			fatalf("bad -tc-rate: %v", err)
+		}
+		spec.TC.Rate = r
+	}
+
+	if *sndbuf != "" {
+		n, err := units.ParseDataSize(*sndbuf)
+		if err != nil {
+			fatalf("bad -sndbuf: %v", err)
+		}
+		spec.SndBuf = n
+	}
+	if *ival > 0 && *seeds == 1 {
+		res, err := core.Run(func() core.Spec { s := spec; s.Interval = *ival; return s }())
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println("interval series (CSV):")
+		if err := res.Report.WriteIntervalsCSV(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println()
+	}
+	agg, err := core.RunSeeds(spec, *seeds)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("%s, %d×%v runs\n", spec, *seeds, *dur)
+	fmt.Printf("  goodput      %8.1f Mbps", agg.Goodput.Mean()/1e6)
+	if *seeds > 1 {
+		fmt.Printf("  (±%.1f, 95%% CI)", agg.Goodput.CI95()/1e6)
+	}
+	fmt.Println()
+	fmt.Printf("  avg rtt      %8.2f ms\n", agg.AvgRTT.Mean()/1e6)
+	fmt.Printf("  min rtt      %8.2f ms\n", agg.MinRTT.Mean()/1e6)
+	fmt.Printf("  retransmits  %8.0f\n", agg.Retransmits.Mean())
+	fmt.Printf("  cpu util     %8.0f %%\n", agg.CPUUtil.Mean()*100)
+	if agg.AvgIdle.Mean() > 0 {
+		fmt.Printf("  skb length   %8.1f Kb/period\n", units.DataSize(agg.AvgSKB.Mean()).Kilobits())
+		fmt.Printf("  idle time    %8.2f ms/period\n", agg.AvgIdle.Mean()/1e6)
+		fmt.Printf("  expected tx  %8.1f Mbps (skb×conns/idle)\n", agg.ExpectedTx.Mean()/1e6)
+	}
+	fmt.Printf("  peak sndbuf  %8.1f KB\n", agg.MaxBufOcc.Mean()/1024)
+	last0 := agg.Runs[len(agg.Runs)-1].Report
+	if len(last0.PerConn) > 1 {
+		fmt.Printf("  jain index   %8.3f\n", last0.Fairness.Jain)
+	}
+	if bd := last0.CPUBreakdown; len(bd) > 0 {
+		fmt.Printf("  cpu cycles  ")
+		for _, op := range []string{"pacing_timer", "ack_process", "seg_xmit", "skb_xmit", "cc_update", "data_copy"} {
+			if f, ok := bd[op]; ok && f >= 0.005 {
+				fmt.Printf(" %s %.0f%%", op, f*100)
+			}
+		}
+		fmt.Println()
+	}
+	// Per-connection goodput spread from the last run, as iperf3 prints.
+	last := agg.Runs[len(agg.Runs)-1].Report
+	if len(last.PerConn) > 1 {
+		min, max := last.PerConn[0], last.PerConn[0]
+		for _, g := range last.PerConn {
+			if g < min {
+				min = g
+			}
+			if g > max {
+				max = g
+			}
+		}
+		fmt.Printf("  per-conn     %v … %v\n", min, max)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mobbr: "+format+"\n", args...)
+	os.Exit(1)
+}

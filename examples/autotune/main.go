@@ -1,0 +1,61 @@
+// Autotune: search for the optimal pacing stride automatically — the
+// §7.1.2 future work. The tuner hill-climbs over strides using the
+// simulator as the objective, with an RTT budget so the winner keeps
+// pacing's latency benefit.
+//
+//	go run ./examples/autotune
+//	go run ./examples/autotune -config default -budget 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"mobbr/internal/core"
+	"mobbr/internal/device"
+	"mobbr/internal/tuner"
+)
+
+func main() {
+	cfgName := flag.String("config", "low", "CPU config: low, mid, default")
+	conns := flag.Int("conns", 20, "parallel connections")
+	budget := flag.Float64("budget", 2.0, "RTT budget as a multiple of the 1x baseline (0 = none)")
+	flag.Parse()
+
+	var cfg device.Config
+	switch *cfgName {
+	case "low":
+		cfg = device.LowEnd
+	case "mid":
+		cfg = device.MidEnd
+	case "default":
+		cfg = device.Default
+	default:
+		log.Fatalf("unknown config %q", *cfgName)
+	}
+
+	spec := core.Spec{
+		Device: device.Pixel4, CPU: cfg, CC: "bbr",
+		Conns: *conns, Network: core.Ethernet,
+	}
+	fmt.Printf("Hill-climbing the pacing stride on %v, %d conns (RTT budget %.1fx)\n\n",
+		cfg, *conns, *budget)
+
+	res, err := tuner.HillClimb(spec, tuner.Options{
+		Seeds:     1,
+		Duration:  3 * time.Second,
+		RTTBudget: *budget,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%8s %12s %10s %8s\n", "stride", "goodput", "rtt", "score")
+	for _, tr := range res.Trials {
+		fmt.Printf("%7.1fx %9.1f Mbps %7.2f ms %8.1f\n",
+			tr.Stride, tr.GoodputMbps, tr.RTTms, tr.Score)
+	}
+	fmt.Printf("\nbest: %.1fx at %.1f Mbps — %.2fx over stock pacing\n",
+		res.Best.Stride, res.Best.GoodputMbps, res.Improvement())
+}

@@ -1,0 +1,57 @@
+// Shallow buffer: why BBR cannot simply turn pacing off (§5.2.3). Against
+// a rate-limited router with a 10-packet queue, unpaced BBR bursts overrun
+// the buffer: goodput may rise, but retransmissions explode and RTT climbs —
+// pacing is doing real congestion-control work.
+//
+//	go run ./examples/shallow_buffer
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mobbr/internal/core"
+	"mobbr/internal/device"
+	"mobbr/internal/netem"
+	"mobbr/internal/units"
+)
+
+func main() {
+	fmt.Println("Low-End Pixel 4, 20 conns, router capped at 600 Mbps with a")
+	fmt.Println("10-packet (shallow) buffer — pacing on vs off:")
+	fmt.Println()
+
+	off := false
+	for _, p := range []struct {
+		label    string
+		override *bool
+	}{
+		{"pacing on ", nil},
+		{"pacing off", &off},
+	} {
+		res, err := core.Run(core.Spec{
+			Device:   device.Pixel4,
+			CPU:      device.LowEnd,
+			CC:       "bbr",
+			Conns:    20,
+			Duration: 5 * time.Second,
+			Warmup:   time.Second,
+			Network:  core.Ethernet,
+			TC: netem.TC{
+				Rate:         600 * units.Mbps,
+				QueuePackets: 10,
+			},
+			PacingOverride: p.override,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := res.Report
+		fmt.Printf("%s  goodput %6.1f Mbps   retransmits %6d   rtt %5.2f ms   drops %d\n",
+			p.label, float64(r.Goodput)/1e6, r.Retransmits, float64(r.AvgRTT)/1e6, r.PathDrops)
+	}
+	fmt.Println()
+	fmt.Println("The paper reports retransmissions jumping from 37 to ~13,500")
+	fmt.Println("when pacing is disabled in this setting.")
+}

@@ -1,0 +1,3 @@
+module mobbr
+
+go 1.22

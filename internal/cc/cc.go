@@ -1,0 +1,166 @@
+// Package cc defines the congestion-control interface the TCP transport
+// drives, mirroring the Linux kernel's struct tcp_congestion_ops: the
+// transport owns the scoreboard, RTT estimation and delivery-rate sampling,
+// and hands each module a per-ACK rate sample; the module steers the
+// connection through cwnd, ssthresh and pacing rate.
+package cc
+
+import (
+	"math/rand"
+	"time"
+
+	"mobbr/internal/units"
+)
+
+// State is the sender's loss-recovery state, like tcp_ca_state.
+type State int
+
+// Loss-recovery states.
+const (
+	// StateOpen is normal operation: no loss suspected.
+	StateOpen State = iota
+	// StateRecovery is SACK/dupack-triggered fast recovery.
+	StateRecovery
+	// StateLoss follows a retransmission timeout.
+	StateLoss
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case StateOpen:
+		return "open"
+	case StateRecovery:
+		return "recovery"
+	case StateLoss:
+		return "loss"
+	default:
+		return "unknown"
+	}
+}
+
+// Event notifies the module of a recovery-state transition, like the
+// kernel's CA_EVENT / set_state callbacks.
+type Event int
+
+// Congestion events.
+const (
+	// EventEnterRecovery fires when loss is first detected via
+	// dupacks/SACK and the connection enters fast recovery.
+	EventEnterRecovery Event = iota
+	// EventEnterLoss fires on a retransmission timeout.
+	EventEnterLoss
+	// EventExitRecovery fires when recovery completes.
+	EventExitRecovery
+	// EventECE fires at most once per RTT when the receiver echoes ECN
+	// congestion-experienced marks (classic-ECN response point).
+	EventECE
+)
+
+// Conn is the view of the connection a congestion-control module sees — the
+// subset of tcp_sock a kernel module reads and writes.
+type Conn interface {
+	// Now returns the current virtual time.
+	Now() time.Duration
+	// MSS returns the maximum segment size.
+	MSS() units.DataSize
+	// Cwnd returns the congestion window in packets.
+	Cwnd() int
+	// SetCwnd sets the congestion window in packets (clamped to >= 2 by
+	// the transport).
+	SetCwnd(pkts int)
+	// Ssthresh returns the slow-start threshold in packets.
+	Ssthresh() int
+	// SetSsthresh sets the slow-start threshold in packets.
+	SetSsthresh(pkts int)
+	// PacingRate returns the current pacing rate (0 when unset).
+	PacingRate() units.Bandwidth
+	// SetPacingRate sets the pacing rate used by the internal pacer.
+	SetPacingRate(r units.Bandwidth)
+	// PacketsInFlight returns packets sent but neither acked nor marked
+	// lost.
+	PacketsInFlight() int
+	// Delivered returns the total packets delivered (cumulatively acked
+	// or SACKed) so far — the kernel's tp->delivered.
+	Delivered() int64
+	// Lost returns total packets marked lost so far (tp->lost).
+	Lost() int64
+	// SRTT returns the smoothed RTT (0 before the first sample).
+	SRTT() time.Duration
+	// MinRTT returns the transport's windowed minimum RTT estimate.
+	MinRTT() time.Duration
+	// LastRTT returns the most recent RTT sample (0 if none yet).
+	LastRTT() time.Duration
+	// State returns the current loss-recovery state.
+	State() State
+	// IsCwndLimited reports whether the last send attempt was limited by
+	// cwnd rather than by application data.
+	IsCwndLimited() bool
+	// Rand returns the run's deterministic random source.
+	Rand() *rand.Rand
+}
+
+// RateSample describes the delivery-rate measurement attached to one ACK,
+// per the kernel's struct rate_sample (tcp_rate.c).
+type RateSample struct {
+	// Delivered is the number of packets delivered over Interval. -1
+	// means the sample is invalid.
+	Delivered int64
+	// PriorDelivered is tp->delivered at the send of the newest acked
+	// packet.
+	PriorDelivered int64
+	// Interval is the send/ack window the delivery was measured over.
+	// <= 0 means the sample is invalid.
+	Interval time.Duration
+	// RTT is the RTT sample from this ACK (<= 0 if none).
+	RTT time.Duration
+	// AckedSacked is how many packets this ACK newly delivered.
+	AckedSacked int64
+	// Losses is how many packets were newly marked lost while processing
+	// this ACK.
+	Losses int64
+	// PriorInFlight is the packets in flight before this ACK.
+	PriorInFlight int
+	// IsAppLimited marks samples taken while the sender had no data to
+	// send, which must not lower bandwidth estimates.
+	IsAppLimited bool
+	// IsRetrans marks samples derived from a retransmitted packet.
+	IsRetrans bool
+	// CECount is how many ECN CE marks this ACK echoed.
+	CECount int64
+}
+
+// Valid reports whether the sample can be used for bandwidth estimation.
+func (rs *RateSample) Valid() bool { return rs.Delivered >= 0 && rs.Interval > 0 }
+
+// DeliveryRate returns the measured delivery rate, or 0 for invalid samples.
+func (rs *RateSample) DeliveryRate(mss units.DataSize) units.Bandwidth {
+	if !rs.Valid() {
+		return 0
+	}
+	return units.BandwidthFromBytes(units.DataSize(rs.Delivered)*mss, rs.Interval)
+}
+
+// CongestionControl is the algorithm interface, the analogue of
+// tcp_congestion_ops.
+type CongestionControl interface {
+	// Name returns the algorithm's sysctl-style name ("cubic", "bbr", …).
+	Name() string
+	// Init is called once when the connection is established.
+	Init(c Conn)
+	// OnAck is called for every processed ACK after scoreboard and rate
+	// sample updates — it merges cong_control/cong_avoid/pkts_acked.
+	OnAck(c Conn, rs *RateSample)
+	// OnEvent is called on loss-recovery transitions.
+	OnEvent(c Conn, ev Event)
+	// AckCost returns the module's per-ACK model cost in reference CPU
+	// cycles; BBR's model update is substantially heavier than Cubic's
+	// AIMD step (§5.1.1 of the paper).
+	AckCost() float64
+	// WantsPacing reports whether the module requires packet pacing
+	// (true for BBR/BBRv2, false for Cubic).
+	WantsPacing() bool
+}
+
+// Factory builds a fresh congestion-control instance per connection.
+type Factory func() CongestionControl

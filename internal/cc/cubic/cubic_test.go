@@ -1,0 +1,198 @@
+package cubic
+
+import (
+	"testing"
+	"time"
+
+	"mobbr/internal/cc"
+	"mobbr/internal/cc/cctest"
+	"mobbr/internal/units"
+)
+
+func TestIdentity(t *testing.T) {
+	cu := New()
+	if cu.Name() != "cubic" {
+		t.Errorf("name = %q", cu.Name())
+	}
+	if cu.WantsPacing() {
+		t.Error("cubic must not want pacing")
+	}
+	if cu.AckCost() >= 2000 {
+		t.Error("cubic per-ack cost should be far below BBR's")
+	}
+}
+
+func TestSlowStartDoubling(t *testing.T) {
+	f := cctest.NewFakeConn()
+	f.SsthreshVal = 1 << 30
+	cu := New()
+	cu.Init(f)
+	cu.hystartOn = false // isolate pure slow start
+	start := f.CwndPkts
+	// One "round": ack cwnd packets.
+	acked := 0
+	for acked < start {
+		rs := f.Ack(2, time.Millisecond, 100*units.Mbps)
+		cu.OnAck(f, rs)
+		acked += 2
+	}
+	if f.CwndPkts < 2*start-2 {
+		t.Errorf("cwnd after one SS round = %d, want ~%d", f.CwndPkts, 2*start)
+	}
+}
+
+func TestCongestionAvoidanceGrowsTowardTarget(t *testing.T) {
+	f := cctest.NewFakeConn()
+	f.CwndPkts = 50
+	f.SsthreshVal = 50
+	cu := New()
+	cu.Init(f)
+	// Simulate a loss epoch so wMax is known.
+	cu.OnEvent(f, cc.EventEnterRecovery)
+	w0 := f.CwndPkts // beta * 50 = 35
+	if w0 != 35 {
+		t.Fatalf("post-loss cwnd = %d, want 35 (0.7×50)", w0)
+	}
+	f.CAState = cc.StateOpen
+	for i := 0; i < 5000; i++ {
+		rs := f.Ack(2, 2*time.Millisecond, 200*units.Mbps)
+		cu.OnAck(f, rs)
+	}
+	if f.CwndPkts <= w0 {
+		t.Errorf("cwnd did not grow in CA: %d", f.CwndPkts)
+	}
+	// Cubic must pass wMax eventually (concave → convex).
+	if f.CwndPkts < 50 {
+		t.Errorf("cwnd %d never re-reached wMax 50", f.CwndPkts)
+	}
+}
+
+func TestMultiplicativeDecrease(t *testing.T) {
+	f := cctest.NewFakeConn()
+	f.CwndPkts = 100
+	cu := New()
+	cu.Init(f)
+	cu.OnEvent(f, cc.EventEnterRecovery)
+	if f.CwndPkts != 70 {
+		t.Errorf("cwnd after loss = %d, want 70", f.CwndPkts)
+	}
+	if f.SsthreshVal != 70 {
+		t.Errorf("ssthresh = %d, want 70", f.SsthreshVal)
+	}
+}
+
+func TestFastConvergence(t *testing.T) {
+	f := cctest.NewFakeConn()
+	f.CwndPkts = 100
+	cu := New()
+	cu.Init(f)
+	cu.OnEvent(f, cc.EventEnterRecovery) // wMax = 100
+	if cu.wMax != 100 {
+		t.Fatalf("wMax = %v, want 100", cu.wMax)
+	}
+	// Second loss below wMax: wMax shrinks below current cwnd.
+	f.CwndPkts = 80
+	cu.OnEvent(f, cc.EventEnterRecovery)
+	want := 80 * (2 - beta) / 2
+	if cu.wMax < want-1 || cu.wMax > want+1 {
+		t.Errorf("fast convergence wMax = %v, want ~%v", cu.wMax, want)
+	}
+}
+
+func TestNoGrowthWhenNotCwndLimited(t *testing.T) {
+	f := cctest.NewFakeConn()
+	f.CwndPkts = 50
+	f.SsthreshVal = 10 // CA regime
+	f.CwndLim = false
+	cu := New()
+	cu.Init(f)
+	for i := 0; i < 1000; i++ {
+		rs := f.Ack(2, time.Millisecond, 100*units.Mbps)
+		cu.OnAck(f, rs)
+	}
+	if f.CwndPkts != 50 {
+		t.Errorf("cwnd grew to %d while app-limited", f.CwndPkts)
+	}
+}
+
+func TestNoGrowthDuringRecovery(t *testing.T) {
+	f := cctest.NewFakeConn()
+	f.CwndPkts = 40
+	f.SsthreshVal = 10
+	f.CAState = cc.StateRecovery
+	cu := New()
+	cu.Init(f)
+	for i := 0; i < 500; i++ {
+		rs := f.Ack(2, time.Millisecond, 100*units.Mbps)
+		cu.OnAck(f, rs)
+	}
+	if f.CwndPkts != 40 {
+		t.Errorf("cwnd changed to %d during recovery", f.CwndPkts)
+	}
+}
+
+func TestHystartDelayExit(t *testing.T) {
+	f := cctest.NewFakeConn()
+	f.CwndPkts = 32 // above hystartLowWindow
+	f.SsthreshVal = 1 << 30
+	cu := New()
+	cu.Init(f)
+	// Feed a baseline RTT, then sharply increasing RTTs within one round.
+	rs := f.Ack(2, 2*time.Millisecond, 500*units.Mbps)
+	cu.OnAck(f, rs)
+	for i := 0; i < 64; i++ {
+		rs := f.Ack(2, 2*time.Millisecond+time.Duration(i)*time.Millisecond, 500*units.Mbps)
+		cu.OnAck(f, rs)
+		if f.SsthreshVal < 1<<30 {
+			break
+		}
+	}
+	if f.SsthreshVal == 1<<30 {
+		t.Error("hystart never exited slow start despite rising RTT")
+	}
+}
+
+func TestExitRecoveryRestoresSsthresh(t *testing.T) {
+	f := cctest.NewFakeConn()
+	f.CwndPkts = 100
+	cu := New()
+	cu.Init(f)
+	cu.OnEvent(f, cc.EventEnterLoss) // RTO path: transport will set cwnd=1
+	f.CwndPkts = 1
+	cu.OnEvent(f, cc.EventExitRecovery)
+	if f.CwndPkts < f.SsthreshVal {
+		t.Errorf("cwnd %d below ssthresh %d after recovery exit", f.CwndPkts, f.SsthreshVal)
+	}
+}
+
+func TestRenoFriendlinessFloor(t *testing.T) {
+	// At small cwnd/short RTT cubic growth is slow; the Reno estimate
+	// must keep it from stalling entirely.
+	f := cctest.NewFakeConn()
+	f.CwndPkts = 20
+	f.SsthreshVal = 20
+	cu := New()
+	cu.Init(f)
+	cu.OnEvent(f, cc.EventEnterRecovery)
+	f.CAState = cc.StateOpen
+	before := f.CwndPkts
+	for i := 0; i < 2000; i++ {
+		rs := f.Ack(1, 500*time.Microsecond, 100*units.Mbps)
+		cu.OnAck(f, rs)
+	}
+	if f.CwndPkts <= before {
+		t.Errorf("cwnd stalled at %d", f.CwndPkts)
+	}
+}
+
+func TestClassicECNResponse(t *testing.T) {
+	f := cctest.NewFakeConn()
+	f.CwndPkts = 100
+	cu := New()
+	cu.Init(f)
+	cu.OnEvent(f, cc.EventECE)
+	if f.CwndPkts != 70 || f.SsthreshVal != 70 {
+		t.Errorf("cwnd/ssthresh after ECE = %d/%d, want 70/70 (beta cut, no retx)",
+			f.CwndPkts, f.SsthreshVal)
+	}
+}

@@ -1,0 +1,100 @@
+package reno
+
+import (
+	"testing"
+	"time"
+
+	"mobbr/internal/cc"
+	"mobbr/internal/cc/cctest"
+	"mobbr/internal/units"
+)
+
+func TestIdentity(t *testing.T) {
+	r := New()
+	if r.Name() != "reno" {
+		t.Errorf("name = %q", r.Name())
+	}
+	if r.WantsPacing() {
+		t.Error("reno must not pace")
+	}
+	if r.AckCost() > 500 {
+		t.Error("reno should be the cheapest model")
+	}
+}
+
+func TestSlowStart(t *testing.T) {
+	f := cctest.NewFakeConn()
+	r := New()
+	r.Init(f)
+	start := f.CwndPkts
+	rs := f.Ack(3, time.Millisecond, 100*units.Mbps)
+	r.OnAck(f, rs)
+	if f.CwndPkts != start+3 {
+		t.Errorf("cwnd = %d after 3 acked in SS, want %d", f.CwndPkts, start+3)
+	}
+}
+
+func TestCongestionAvoidanceOnePerWindow(t *testing.T) {
+	f := cctest.NewFakeConn()
+	f.CwndPkts = 10
+	f.SsthreshVal = 10
+	r := New()
+	r.Init(f)
+	// 10 packets acked = exactly one window → +1.
+	for i := 0; i < 5; i++ {
+		rs := f.Ack(2, time.Millisecond, 100*units.Mbps)
+		r.OnAck(f, rs)
+	}
+	if f.CwndPkts != 11 {
+		t.Errorf("cwnd = %d after one window, want 11", f.CwndPkts)
+	}
+}
+
+func TestHalvingOnLoss(t *testing.T) {
+	f := cctest.NewFakeConn()
+	f.CwndPkts = 40
+	r := New()
+	r.Init(f)
+	r.OnEvent(f, cc.EventEnterRecovery)
+	if f.CwndPkts != 20 || f.SsthreshVal != 20 {
+		t.Errorf("cwnd/ssthresh = %d/%d after loss, want 20/20", f.CwndPkts, f.SsthreshVal)
+	}
+}
+
+func TestFloorOfTwo(t *testing.T) {
+	f := cctest.NewFakeConn()
+	f.CwndPkts = 2
+	r := New()
+	r.Init(f)
+	r.OnEvent(f, cc.EventEnterRecovery)
+	if f.SsthreshVal < 2 {
+		t.Errorf("ssthresh = %d, want >= 2", f.SsthreshVal)
+	}
+}
+
+func TestNoGrowthWhenAppLimited(t *testing.T) {
+	f := cctest.NewFakeConn()
+	f.CwndPkts = 10
+	f.SsthreshVal = 5
+	f.CwndLim = false
+	r := New()
+	r.Init(f)
+	for i := 0; i < 100; i++ {
+		rs := f.Ack(2, time.Millisecond, 100*units.Mbps)
+		r.OnAck(f, rs)
+	}
+	if f.CwndPkts != 10 {
+		t.Errorf("cwnd grew to %d while app-limited", f.CwndPkts)
+	}
+}
+
+func TestECEHalves(t *testing.T) {
+	f := cctest.NewFakeConn()
+	f.CwndPkts = 40
+	r := New()
+	r.Init(f)
+	r.OnEvent(f, cc.EventECE)
+	if f.CwndPkts != 20 {
+		t.Errorf("cwnd after ECE = %d, want 20", f.CwndPkts)
+	}
+}

@@ -1,0 +1,278 @@
+// Package core is the library's public experiment API — the layer the
+// examples, the CLI tools and the benchmarks drive. A Spec describes one
+// experiment exactly the way the paper's methodology section does (phone,
+// Table 1 CPU configuration, congestion control, number of parallel iPerf
+// connections, network, tc impairments, and the §5/§6 master-module and
+// pacing-stride knobs); Run assembles the simulated testbed and returns the
+// measured Report; RunSeeds repeats a Spec across seeds and aggregates, as
+// the paper averages each point over at least 10 runs.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mobbr/internal/cc"
+	"mobbr/internal/cc/bbr"
+	"mobbr/internal/cc/bbrv2"
+	"mobbr/internal/cc/cubic"
+	"mobbr/internal/cc/reno"
+	"mobbr/internal/device"
+	"mobbr/internal/iperf"
+	"mobbr/internal/mastermod"
+	"mobbr/internal/netem"
+	"mobbr/internal/sim"
+	"mobbr/internal/stats"
+	"mobbr/internal/tcp"
+	"mobbr/internal/units"
+)
+
+// Network selects the testbed medium (§3.2 and Appendix A.1).
+type Network int
+
+// Testbed networks.
+const (
+	// Ethernet is the wired 1 Gbps LAN through the OpenWRT router.
+	Ethernet Network = iota
+	// WiFi is the 802.11 LAN with the phone ~1 m from the AP.
+	WiFi
+	// Cellular is the T-Mobile LTE uplink of Appendix A.1.
+	Cellular
+	// Cellular5G is the ≈200 Mbps mmWave uplink the paper predicts will
+	// re-expose the pacing bottleneck that LTE hides.
+	Cellular5G
+)
+
+// String returns the network name.
+func (n Network) String() string {
+	switch n {
+	case Ethernet:
+		return "ethernet"
+	case WiFi:
+		return "wifi"
+	case Cellular:
+		return "cellular"
+	case Cellular5G:
+		return "5g"
+	default:
+		return "unknown"
+	}
+}
+
+// Spec describes one experiment.
+type Spec struct {
+	// Device is the phone (Pixel 4 or Pixel 6).
+	Device device.Model
+	// CPU is the Table 1 configuration.
+	CPU device.Config
+	// CC names the congestion control: "cubic", "bbr", "bbr2" or
+	// "reno". A comma-separated list ("bbr,cubic") assigns algorithms
+	// round-robin across connections for coexistence experiments.
+	CC string
+	// Conns is the number of parallel connections.
+	Conns int
+	// Duration is the transmit time (the paper uses 5 minutes; shorter
+	// runs converge to the same steady state in simulation).
+	Duration time.Duration
+	// Warmup excludes the initial ramp from goodput accounting.
+	Warmup time.Duration
+	// Network selects the medium.
+	Network Network
+	// TC applies router impairments (rate, delay, loss, queue depth).
+	TC netem.TC
+	// PacingOverride forces pacing on/off regardless of the CC (§5.2).
+	PacingOverride *bool
+	// Stride is the pacing stride (§6.2); <1 means stock (1×).
+	Stride float64
+	// HardwarePacing offloads per-send pacing timers to the NIC
+	// (§7.1.4): gaps are still enforced but cost no CPU.
+	HardwarePacing bool
+	// FixedPacingRate pins each connection's pacing rate (§5.1.2).
+	FixedPacingRate units.Bandwidth
+	// FixedCwnd pins the congestion window in packets (§5.1).
+	FixedCwnd int
+	// DisableModel turns off the CC's per-ACK computation (§5.1.1).
+	DisableModel bool
+	// Interval, when nonzero, records iperf3-style per-interval reports
+	// in the result (Report.Intervals).
+	Interval time.Duration
+	// SndBuf overrides the per-socket send buffer (default 256 KB).
+	// High-BDP paths (the 5G scenario) need more, as Android's wmem
+	// auto-tuning would provide.
+	SndBuf units.DataSize
+	// Seed drives all randomness; runs are fully deterministic per seed.
+	Seed int64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.CC == "" {
+		s.CC = "cubic"
+	}
+	if s.Conns <= 0 {
+		s.Conns = 1
+	}
+	if s.Duration <= 0 {
+		s.Duration = 10 * time.Second
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// String summarizes the spec for reports.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s/%s %s conns=%d net=%s", s.Device, s.CPU, s.CC, s.Conns, s.Network)
+}
+
+// Factories returns the registered congestion-control factories by name.
+func Factories() map[string]cc.Factory {
+	return map[string]cc.Factory{
+		"cubic": cubic.Factory(),
+		"bbr":   bbr.Factory(),
+		"bbr2":  bbrv2.Factory(),
+		"reno":  reno.Factory(),
+	}
+}
+
+// Result is one run's outcome.
+type Result struct {
+	Spec   Spec
+	Report *iperf.Report
+}
+
+// Run executes one experiment.
+func Run(spec Spec) (*Result, error) {
+	spec = spec.withDefaults()
+	names := strings.Split(spec.CC, ",")
+	factories := make([]cc.Factory, len(names))
+	for i, name := range names {
+		f, ok := Factories()[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown congestion control %q", name)
+		}
+		factories[i] = f
+	}
+	// The kernel's BBR re-measures propagation delay every 10 s; runs
+	// shorter than a few windows scale the filter down so steady-state
+	// min-RTT refresh and PROBE_RTT dynamics still happen (the paper's
+	// physical runs last 5 minutes).
+	for i := range factories {
+		factory := factories[i]
+		if w := spec.Duration / 3; w < 10*time.Second {
+			if w < 500*time.Millisecond {
+				w = 500 * time.Millisecond
+			}
+			inner := factory
+			factory = func() cc.CongestionControl {
+				m := inner()
+				switch b := m.(type) {
+				case *bbr.BBR:
+					b.SetMinRTTWindow(w)
+				case *bbrv2.BBRv2:
+					b.SetMinRTTWindow(w)
+				}
+				return m
+			}
+		}
+		if spec.FixedCwnd > 0 || spec.FixedPacingRate > 0 || spec.DisableModel {
+			factory = mastermod.Factory(factory, mastermod.Overrides{
+				FixedCwnd:       spec.FixedCwnd,
+				FixedPacingRate: spec.FixedPacingRate,
+				DisableModel:    spec.DisableModel,
+			})
+		}
+		factories[i] = factory
+	}
+
+	eng := sim.New(spec.Seed)
+	cpu, appCPU := device.NewCPUs(eng, spec.Device, spec.CPU)
+
+	var path *netem.Path
+	switch spec.Network {
+	case Ethernet:
+		path = netem.EthernetLAN(eng, spec.TC)
+	case WiFi:
+		var mod *netem.WiFiModulator
+		path, mod = netem.WiFiLAN(eng, spec.TC)
+		mod.Start()
+	case Cellular:
+		path = netem.CellularLTE(eng, spec.TC)
+	case Cellular5G:
+		path = netem.Cellular5G(eng, spec.TC)
+	default:
+		return nil, fmt.Errorf("core: unknown network %d", spec.Network)
+	}
+
+	cfg := tcp.Config{PacingOverride: spec.PacingOverride, SndBuf: spec.SndBuf}
+	cfg.Pacing.Stride = spec.Stride
+	cfg.Pacing.FixedRate = spec.FixedPacingRate
+	cfg.Pacing.HardwareOffload = spec.HardwarePacing
+
+	icfg := iperf.Config{
+		Conns:    spec.Conns,
+		Duration: spec.Duration,
+		Warmup:   spec.Warmup,
+		Interval: spec.Interval,
+		TCP:      cfg,
+		AppCPU:   appCPU,
+	}
+	if len(factories) == 1 {
+		icfg.CC = factories[0]
+	} else {
+		icfg.CCMix = factories
+	}
+	sess := iperf.New(eng, cpu, path, icfg)
+	report := sess.Run()
+	return &Result{Spec: spec, Report: report}, nil
+}
+
+// Aggregate is the multi-seed summary of a Spec.
+type Aggregate struct {
+	Spec Spec
+	// Goodput / RTT / Retransmits summarize across seeds.
+	Goodput     stats.Online
+	AvgRTT      stats.Online
+	MinRTT      stats.Online
+	Retransmits stats.Online
+	AvgSKB      stats.Online
+	AvgIdle     stats.Online
+	ExpectedTx  stats.Online
+	MaxBufOcc   stats.Online
+	CPUUtil     stats.Online
+	Runs        []*Result
+}
+
+// GoodputMbps returns the mean aggregate goodput in Mbps.
+func (a *Aggregate) GoodputMbps() float64 { return a.Goodput.Mean() / 1e6 }
+
+// RunSeeds executes spec across n seeds (1, 2, …, n offsets from
+// spec.Seed) and aggregates the reports.
+func RunSeeds(spec Spec, n int) (*Aggregate, error) {
+	if n <= 0 {
+		n = 1
+	}
+	spec = spec.withDefaults()
+	agg := &Aggregate{Spec: spec}
+	for i := 0; i < n; i++ {
+		s := spec
+		s.Seed = spec.Seed + int64(i)
+		res, err := Run(s)
+		if err != nil {
+			return nil, err
+		}
+		r := res.Report
+		agg.Goodput.Add(float64(r.Goodput))
+		agg.AvgRTT.Add(float64(r.AvgRTT))
+		agg.MinRTT.Add(float64(r.MinRTT))
+		agg.Retransmits.Add(float64(r.Retransmits))
+		agg.AvgSKB.Add(float64(r.AvgSKB))
+		agg.AvgIdle.Add(float64(r.AvgIdle))
+		agg.ExpectedTx.Add(float64(r.ExpectedTx))
+		agg.MaxBufOcc.Add(float64(r.MaxBufferOcc))
+		agg.CPUUtil.Add(r.CPUUtil)
+		agg.Runs = append(agg.Runs, res)
+	}
+	return agg, nil
+}

@@ -1,0 +1,186 @@
+package cpumodel
+
+import (
+	"fmt"
+	"time"
+
+	"mobbr/internal/sim"
+)
+
+// CPU is a serial work-conserving FCFS server standing in for the core(s)
+// the kernel's network stack runs on. Jobs are submitted with a cycle cost;
+// each runs to completion before the next starts, so under load completion
+// latency grows — exactly the "timer expiration callbacks continually
+// reschedule connections to be processed" effect from the paper's §6.1.
+type CPU struct {
+	eng   *sim.Engine
+	costs Costs
+
+	// speed is the current effective rate in reference cycles/second
+	// (frequency × IPC factor), set by the governor.
+	speed float64
+
+	// pressure is a multiplier ≥ 1 applied to every job's cycle cost,
+	// modelling cache/TLB working-set growth as the number of active
+	// sockets rises (more socket structures, scoreboards and timers
+	// competing for a small LITTLE-core cache).
+	pressure float64
+
+	busyUntil time.Duration
+
+	// Utilization accounting for the governor and for reporting.
+	windowStart time.Duration
+	windowBusy  time.Duration
+	totalBusy   time.Duration
+
+	// Per-op accounting for diagnostics and EXPERIMENTS.md reporting.
+	opCount  [numOps]uint64
+	opCycles [numOps]float64
+}
+
+// NewCPU returns a CPU on eng running at the given effective speed
+// (reference cycles per second).
+func NewCPU(eng *sim.Engine, costs Costs, speed float64) *CPU {
+	if speed <= 0 {
+		panic(fmt.Sprintf("cpumodel: non-positive CPU speed %v", speed))
+	}
+	return &CPU{eng: eng, costs: costs, speed: speed, pressure: 1}
+}
+
+// SetPressure sets the cache-pressure cost multiplier (clamped to >= 1).
+// The iperf harness sets it to 1 + 0.05·ln(connections).
+func (c *CPU) SetPressure(f float64) {
+	if f < 1 {
+		f = 1
+	}
+	c.pressure = f
+}
+
+// Pressure returns the current cost multiplier.
+func (c *CPU) Pressure() float64 { return c.pressure }
+
+// Costs returns the CPU's cost table.
+func (c *CPU) Costs() Costs { return c.costs }
+
+// Speed returns the current effective speed in reference cycles/second.
+func (c *CPU) Speed() float64 { return c.speed }
+
+// SetSpeed changes the effective speed. Jobs already queued keep the service
+// time they were assigned at submission; only future jobs see the new speed.
+// Governors call this.
+func (c *CPU) SetSpeed(speed float64) {
+	if speed <= 0 {
+		panic(fmt.Sprintf("cpumodel: non-positive CPU speed %v", speed))
+	}
+	c.speed = speed
+}
+
+// Submit charges cycles of work for op and runs fn when the work completes,
+// after all previously queued work. It returns the virtual completion time.
+// fn may be nil when the caller only wants the work accounted for.
+func (c *CPU) Submit(op Op, cycles float64, fn func()) time.Duration {
+	if cycles < 0 {
+		panic("cpumodel: negative cycle cost")
+	}
+	now := c.eng.Now()
+	start := c.busyUntil
+	if start < now {
+		start = now
+	}
+	service := time.Duration(cycles * c.pressure / c.speed * float64(time.Second))
+	done := start + service
+	c.busyUntil = done
+	c.windowBusy += service
+	c.totalBusy += service
+	if op >= 0 && op < numOps {
+		c.opCount[op]++
+		c.opCycles[op] += cycles
+	}
+	if fn != nil {
+		c.eng.ScheduleAt(done, fn)
+	}
+	return done
+}
+
+// SubmitOp charges the table cost for op.
+func (c *CPU) SubmitOp(op Op, fn func()) time.Duration {
+	return c.Submit(op, c.costs.Of(op), fn)
+}
+
+// QueueDelay returns how long a job submitted now would wait before starting.
+func (c *CPU) QueueDelay() time.Duration {
+	now := c.eng.Now()
+	if c.busyUntil <= now {
+		return 0
+	}
+	return c.busyUntil - now
+}
+
+// WindowUtilization returns the fraction of time since the last call that
+// the CPU was busy, then resets the window. Governors poll this.
+func (c *CPU) WindowUtilization() float64 {
+	now := c.eng.Now()
+	elapsed := now - c.windowStart
+	if elapsed <= 0 {
+		return 0
+	}
+	busy := c.windowBusy
+	if busy > elapsed {
+		// Work queued beyond 'now' counts against future windows.
+		busy = elapsed
+		c.windowBusy -= elapsed
+	} else {
+		c.windowBusy = 0
+	}
+	c.windowStart = now
+	return float64(busy) / float64(elapsed)
+}
+
+// TotalUtilization returns the busy fraction since the start of the run.
+func (c *CPU) TotalUtilization() float64 {
+	now := c.eng.Now()
+	if now <= 0 {
+		return 0
+	}
+	busy := c.totalBusy
+	if busy > now {
+		busy = now
+	}
+	return float64(busy) / float64(now)
+}
+
+// OpCount returns how many operations of the given kind have been charged.
+func (c *CPU) OpCount(op Op) uint64 {
+	if op < 0 || op >= numOps {
+		return 0
+	}
+	return c.opCount[op]
+}
+
+// OpCycles returns the total cycles charged to the given kind.
+func (c *CPU) OpCycles(op Op) float64 {
+	if op < 0 || op >= numOps {
+		return 0
+	}
+	return c.opCycles[op]
+}
+
+// Breakdown returns each operation's share of the total cycles charged so
+// far, keyed by the operation's name. Operations with no cycles are
+// omitted.
+func (c *CPU) Breakdown() map[string]float64 {
+	var total float64
+	for _, cy := range c.opCycles {
+		total += cy
+	}
+	out := make(map[string]float64)
+	if total == 0 {
+		return out
+	}
+	for op, cy := range c.opCycles {
+		if cy > 0 {
+			out[Op(op).String()] = cy / total
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"mobbr/internal/cpumodel"
+	"mobbr/internal/sim"
+)
+
+func TestTable1OperatingPoints(t *testing.T) {
+	p4 := Lookup(Pixel4)
+	p6 := Lookup(Pixel6)
+
+	// Table 1: Low-End = 576 MHz (P4) / 300 MHz (P6) on LITTLE cores.
+	if f := p4.OperatingPoint(LowEnd).FreqHz; f != 576e6 {
+		t.Errorf("Pixel4 Low-End = %v Hz, want 576 MHz", f)
+	}
+	if f := p6.OperatingPoint(LowEnd).FreqHz; f != 300e6 {
+		t.Errorf("Pixel6 Low-End = %v Hz, want 300 MHz", f)
+	}
+	// Mid-End = 1.2 GHz on LITTLE for both.
+	for _, s := range []Spec{p4, p6} {
+		if f := s.OperatingPoint(MidEnd).FreqHz; f != 1.2e9 {
+			t.Errorf("%v Mid-End = %v Hz, want 1.2 GHz", s.Model, f)
+		}
+		if s.OperatingPoint(MidEnd).Big {
+			t.Errorf("%v Mid-End should be a LITTLE core", s.Model)
+		}
+		// High-End = 2.8 GHz on BIG.
+		hp := s.OperatingPoint(HighEnd)
+		if hp.FreqHz != 2.8e9 || !hp.Big {
+			t.Errorf("%v High-End = %v Hz big=%v, want 2.8 GHz BIG", s.Model, hp.FreqHz, hp.Big)
+		}
+	}
+}
+
+func TestDefaultHasNoFixedPoint(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Default operating point")
+		}
+	}()
+	Lookup(Pixel4).OperatingPoint(Default)
+}
+
+func TestGovernorKinds(t *testing.T) {
+	s := Lookup(Pixel4)
+	for _, c := range []Config{LowEnd, MidEnd, HighEnd} {
+		if g := s.Governor(c); g.Name() != "userspace" {
+			t.Errorf("%v governor = %q, want userspace", c, g.Name())
+		}
+	}
+	if g := s.Governor(Default); g.Name() != "schedutil" {
+		t.Errorf("Default governor = %q, want schedutil", g.Name())
+	}
+}
+
+func TestDefaultGovernorRespectsSustainedCap(t *testing.T) {
+	s := Lookup(Pixel4)
+	g := s.Governor(Default).(*cpumodel.SchedutilGovernor)
+	for _, p := range g.Points {
+		if p.FreqHz > s.SustainedCapHz {
+			t.Errorf("governor point %v Hz exceeds sustained cap %v", p.FreqHz, s.SustainedCapHz)
+		}
+	}
+}
+
+func TestSpeedOrdering(t *testing.T) {
+	// Effective speeds must order Low < Mid < High for both phones.
+	for _, m := range []Model{Pixel4, Pixel6} {
+		s := Lookup(m)
+		low := s.OperatingPoint(LowEnd).Speed()
+		mid := s.OperatingPoint(MidEnd).Speed()
+		high := s.OperatingPoint(HighEnd).Speed()
+		if !(low < mid && mid < high) {
+			t.Errorf("%v speeds not ordered: %v %v %v", m, low, mid, high)
+		}
+	}
+}
+
+func TestPixel6LowComparableToPixel4Low(t *testing.T) {
+	// Figure 3's premise: P6 at 300 MHz performs like P4 at 576 MHz, so
+	// effective speeds must be within ~15%.
+	p4 := Lookup(Pixel4).OperatingPoint(LowEnd).Speed()
+	p6 := Lookup(Pixel6).OperatingPoint(LowEnd).Speed()
+	if r := p6 / p4; r < 0.8 || r > 1.2 {
+		t.Errorf("P6/P4 Low-End speed ratio = %.2f, want ~1", r)
+	}
+}
+
+func TestNewCPUsShareClusterGovernor(t *testing.T) {
+	eng := sim.New(1)
+	netCPU, appCPU := NewCPUs(eng, Pixel4, Default)
+	if netCPU.Speed() != appCPU.Speed() {
+		t.Fatalf("cluster cores boot at different speeds: %v vs %v",
+			netCPU.Speed(), appCPU.Speed())
+	}
+	// Load only the app core; the shared policy must raise both.
+	var load func()
+	load = func() {
+		appCPU.Submit(cpumodel.OpDataCopy, appCPU.Speed()*0.002, func() {})
+		eng.Schedule(time.Millisecond, load)
+	}
+	eng.Schedule(0, load)
+	eng.Run(500 * time.Millisecond)
+	if netCPU.Speed() != appCPU.Speed() {
+		t.Errorf("cluster speeds diverged: net %v app %v", netCPU.Speed(), appCPU.Speed())
+	}
+	boot := Lookup(Pixel4).LittleFreqs[0] * Lookup(Pixel4).LittleIPC
+	if netCPU.Speed() <= boot {
+		t.Errorf("net core speed %v did not rise with app-core load", netCPU.Speed())
+	}
+}
+
+func TestConfigsAndStrings(t *testing.T) {
+	if len(Configs()) != 4 {
+		t.Fatalf("Configs() = %d entries, want 4", len(Configs()))
+	}
+	names := map[Config]string{LowEnd: "Low-End", MidEnd: "Mid-End", HighEnd: "High-End", Default: "Default"}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+	if Pixel4.String() != "Pixel 4" || Pixel6.String() != "Pixel 6" {
+		t.Error("model names wrong")
+	}
+}

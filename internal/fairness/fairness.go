@@ -1,0 +1,92 @@
+// Package fairness quantifies how a bandwidth share is split between
+// flows — the §7.1.3 question the paper leaves open: packet pacing is known
+// to improve fairness, so do pacing strides give it back up?
+//
+// It provides Jain's fairness index, max/min share ratio, and a harness
+// that runs competing flows and scores the allocation.
+package fairness
+
+import (
+	"math"
+
+	"mobbr/internal/units"
+)
+
+// JainIndex returns Jain's fairness index of the allocation xs:
+// (Σx)² / (n·Σx²), in (0, 1]; 1 means perfectly equal shares, 1/n means one
+// flow has everything. Returns 0 for an empty or all-zero allocation.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		if x < 0 {
+			x = 0
+		}
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// JainIndexBW is JainIndex over bandwidth shares.
+func JainIndexBW(xs []units.Bandwidth) float64 {
+	f := make([]float64, len(xs))
+	for i, x := range xs {
+		f[i] = float64(x)
+	}
+	return JainIndex(f)
+}
+
+// MaxMinRatio returns the largest share divided by the smallest nonzero
+// share; +Inf if any share is zero while another is not, 0 for empty input.
+func MaxMinRatio(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	min, max := math.Inf(1), 0.0
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+		if x < min {
+			min = x
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	if min == 0 {
+		return math.Inf(1)
+	}
+	return max / min
+}
+
+// Report summarizes the fairness of one run's per-connection goodputs.
+type Report struct {
+	// Jain is Jain's fairness index.
+	Jain float64
+	// MaxMin is the max/min share ratio.
+	MaxMin float64
+	// Total is the aggregate share.
+	Total units.Bandwidth
+}
+
+// Score builds a Report from per-connection goodputs.
+func Score(perConn []units.Bandwidth) Report {
+	f := make([]float64, len(perConn))
+	var total units.Bandwidth
+	for i, x := range perConn {
+		f[i] = float64(x)
+		total += x
+	}
+	return Report{
+		Jain:   JainIndex(f),
+		MaxMin: MaxMinRatio(f),
+		Total:  total,
+	}
+}

@@ -1,0 +1,322 @@
+// Package iperf drives the paper's workload: an iPerf3-style bulk upload
+// from the phone over N parallel TCP connections, and collects the metrics
+// the paper reports — aggregate goodput, per-connection goodput, RTT
+// (sampled like periodic `ss` polling), retransmission counts, pacing-period
+// statistics (for Table 2), buffer occupancy and CPU utilization.
+package iperf
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"mobbr/internal/cc"
+	"mobbr/internal/cpumodel"
+	"mobbr/internal/fairness"
+	"mobbr/internal/netem"
+	"mobbr/internal/sim"
+	"mobbr/internal/stats"
+	"mobbr/internal/tcp"
+	"mobbr/internal/units"
+)
+
+// Config parameterizes one iPerf run.
+type Config struct {
+	// Conns is the number of parallel connections (iperf3 -P).
+	Conns int
+	// Duration is how long the run transmits (iperf3 -t).
+	Duration time.Duration
+	// Warmup excludes the initial ramp from goodput accounting; 0
+	// measures the whole run like iperf3 does.
+	Warmup time.Duration
+	// TCP is the per-connection transport configuration.
+	TCP tcp.Config
+	// CC builds each connection's congestion controller.
+	CC cc.Factory
+	// CCMix, when non-empty, overrides CC: connection i uses
+	// CCMix[i%len(CCMix)], enabling mixed-protocol coexistence
+	// experiments (e.g. BBR vs Cubic sharing a bottleneck).
+	CCMix []cc.Factory
+	// AppCPU, when set, is the application core charged the per-byte
+	// sendmsg copy (see device.NewCPUs). nil skips the copy cost.
+	AppCPU *cpumodel.CPU
+	// SampleEvery is the metric-sampling period (default 100 ms).
+	SampleEvery time.Duration
+	// Interval, when nonzero, records an iperf3-style per-interval
+	// report (aggregate goodput, RTT, retransmits) every Interval.
+	Interval time.Duration
+	// StaggerStarts spreads connection starts over this window to avoid
+	// artificial lockstep (default 10 ms).
+	StaggerStarts time.Duration
+}
+
+// Session is one assembled iPerf run.
+type Session struct {
+	eng  *sim.Engine
+	cpu  *cpumodel.CPU
+	path *netem.Path
+	cfg  Config
+
+	conns []*tcp.Conn
+	rxs   []*tcp.Receiver
+
+	warmupBytes units.DataSize
+	rttSamples  stats.Online
+	cwndSamples stats.Online
+	queueDepth  stats.Online
+
+	intervals     []Interval
+	lastIvalBytes units.DataSize
+	lastIvalRetx  int64
+}
+
+// Interval is one iperf3-style reporting interval.
+type Interval struct {
+	// Start and End bound the interval in virtual time.
+	Start, End time.Duration
+	// Goodput is the aggregate receiver goodput over the interval.
+	Goodput units.Bandwidth
+	// Retransmits is the retransmission count within the interval.
+	Retransmits int64
+	// AvgRTT is the mean smoothed RTT across connections at interval end.
+	AvgRTT time.Duration
+}
+
+// New assembles a session: conns connections, receivers, and the demux. It
+// does not start transmission; call Start (or Run).
+func New(eng *sim.Engine, cpu *cpumodel.CPU, path *netem.Path, cfg Config) *Session {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 100 * time.Millisecond
+	}
+	if cfg.StaggerStarts < 0 {
+		cfg.StaggerStarts = 0
+	} else if cfg.StaggerStarts == 0 {
+		cfg.StaggerStarts = 10 * time.Millisecond
+	}
+	if cfg.CC == nil && len(cfg.CCMix) == 0 {
+		panic("iperf: Config.CC or Config.CCMix is required")
+	}
+	s := &Session{eng: eng, cpu: cpu, path: path, cfg: cfg}
+	// Cache/TLB pressure grows gently with the number of hot sockets.
+	pressure := 1 + 0.05*math.Log(float64(cfg.Conns))
+	cpu.SetPressure(pressure)
+	if cfg.AppCPU != nil {
+		cfg.AppCPU.SetPressure(pressure)
+	}
+	demux := tcp.NewDemux()
+	for i := 0; i < cfg.Conns; i++ {
+		tcfg := cfg.TCP
+		if cfg.StaggerStarts > 0 && cfg.Conns > 1 {
+			tcfg.StartDelay = time.Duration(eng.Rand().Int63n(int64(cfg.StaggerStarts)))
+		}
+		factory := cfg.CC
+		if len(cfg.CCMix) > 0 {
+			factory = cfg.CCMix[i%len(cfg.CCMix)]
+		}
+		conn := tcp.NewConn(i, eng, cpu, path, tcfg, factory)
+		if cfg.AppCPU != nil {
+			conn.SetAppCPU(cfg.AppCPU)
+		}
+		rx := tcp.NewReceiver(eng, path, conn)
+		demux.Add(rx)
+		s.conns = append(s.conns, conn)
+		s.rxs = append(s.rxs, rx)
+	}
+	path.SetReceiver(demux.Handle)
+	return s
+}
+
+// Conns returns the session's connections (for experiment-specific probes).
+func (s *Session) Conns() []*tcp.Conn { return s.conns }
+
+// Start begins transmission and metric sampling.
+func (s *Session) Start() {
+	for _, c := range s.conns {
+		c.Start()
+	}
+	s.eng.Schedule(s.cfg.SampleEvery, s.sample)
+	if s.cfg.Interval > 0 {
+		s.eng.Schedule(s.cfg.Interval, s.recordInterval)
+	}
+	if s.cfg.Warmup > 0 {
+		s.eng.Schedule(s.cfg.Warmup, func() {
+			s.warmupBytes = s.totalGoodBytes()
+		})
+	}
+}
+
+func (s *Session) sample() {
+	for _, c := range s.conns {
+		st := c.Stats()
+		if st.SRTT > 0 {
+			s.rttSamples.Add(float64(st.SRTT))
+		}
+		s.cwndSamples.Add(float64(st.Cwnd))
+	}
+	s.queueDepth.Add(float64(s.path.Hop(0).QueueLen()))
+	s.eng.Schedule(s.cfg.SampleEvery, s.sample)
+}
+
+// recordInterval closes one reporting interval and schedules the next.
+func (s *Session) recordInterval() {
+	now := s.eng.Now()
+	bytes := s.totalGoodBytes()
+	var retx int64
+	var rtt stats.Online
+	for _, c := range s.conns {
+		st := c.Stats()
+		retx += st.Retransmits
+		if st.SRTT > 0 {
+			rtt.Add(float64(st.SRTT))
+		}
+	}
+	iv := Interval{
+		Start:       now - s.cfg.Interval,
+		End:         now,
+		Goodput:     units.BandwidthFromBytes(bytes-s.lastIvalBytes, s.cfg.Interval),
+		Retransmits: retx - s.lastIvalRetx,
+		AvgRTT:      time.Duration(rtt.Mean()),
+	}
+	s.intervals = append(s.intervals, iv)
+	s.lastIvalBytes = bytes
+	s.lastIvalRetx = retx
+	s.eng.Schedule(s.cfg.Interval, s.recordInterval)
+}
+
+func (s *Session) totalGoodBytes() units.DataSize {
+	var n units.DataSize
+	for _, rx := range s.rxs {
+		n += rx.GoodBytes()
+	}
+	return n
+}
+
+// Run executes the whole experiment on the engine and returns the report.
+func (s *Session) Run() *Report {
+	s.Start()
+	s.eng.Run(s.cfg.Duration)
+	for _, c := range s.conns {
+		c.Stop()
+	}
+	return s.Collect()
+}
+
+// Report is the measurement output of one run.
+type Report struct {
+	// Goodput is the aggregate receiver-side goodput over the
+	// measurement interval (duration minus warmup).
+	Goodput units.Bandwidth
+	// PerConn is each connection's goodput.
+	PerConn []units.Bandwidth
+	// Retransmits is the total retransmitted segments (iperf3 Retr).
+	Retransmits int64
+	// Lost is the total segments marked lost by the senders.
+	Lost int64
+	// AvgRTT is the mean of periodically sampled smoothed RTTs, the way
+	// `ss` polling measures it.
+	AvgRTT time.Duration
+	// MinRTT is the smallest transport min-RTT across connections.
+	MinRTT time.Duration
+	// AvgCwnd is the mean sampled congestion window (packets).
+	AvgCwnd float64
+	// AvgSKB / AvgIdle are the per-pacing-period socket-buffer length
+	// and idle time averaged across connections (Table 2 columns).
+	AvgSKB units.DataSize
+	// AvgIdle is the mean pacing idle time per period.
+	AvgIdle time.Duration
+	// PacingTimerEvents counts pacing-timer activations across conns.
+	PacingTimerEvents uint64
+	// ExpectedTx is the paper's Table 2 model: skb×conns/idle.
+	ExpectedTx units.Bandwidth
+	// MaxBufferOcc is the peak total socket-buffer occupancy (§7.1.1).
+	MaxBufferOcc units.DataSize
+	// CPUUtil is the netstack CPU's busy fraction for the run.
+	CPUUtil float64
+	// CPUSpeed is the CPU's effective speed at the end of the run.
+	CPUSpeed float64
+	// PathDrops counts packets dropped anywhere on the path.
+	PathDrops uint64
+	// AvgNICQueue is the mean device-NIC queue depth in packets.
+	AvgNICQueue float64
+	// Fairness scores the per-connection goodput split (§7.1.3).
+	Fairness fairness.Report
+	// CPUBreakdown is each operation's share of netstack-CPU cycles —
+	// the §6 overhead evidence (e.g. CPUBreakdown["pacing_timer"]).
+	CPUBreakdown map[string]float64
+	// Intervals holds the iperf3-style per-interval series when
+	// Config.Interval was set.
+	Intervals []Interval
+}
+
+// WriteIntervalsCSV writes the interval series as CSV (start_s, end_s,
+// goodput_mbps, retransmits, rtt_ms).
+func (r *Report) WriteIntervalsCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "start_s,end_s,goodput_mbps,retransmits,rtt_ms"); err != nil {
+		return err
+	}
+	for _, iv := range r.Intervals {
+		if _, err := fmt.Fprintf(w, "%.2f,%.2f,%.3f,%d,%.3f\n",
+			iv.Start.Seconds(), iv.End.Seconds(),
+			float64(iv.Goodput)/1e6, iv.Retransmits,
+			float64(iv.AvgRTT)/1e6); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Collect gathers the report after the engine has run.
+func (s *Session) Collect() *Report {
+	dur := s.cfg.Duration - s.cfg.Warmup
+	if dur <= 0 {
+		dur = s.cfg.Duration
+	}
+	r := &Report{
+		AvgRTT:       time.Duration(s.rttSamples.Mean()),
+		AvgCwnd:      s.cwndSamples.Mean(),
+		CPUUtil:      s.cpu.TotalUtilization(),
+		CPUBreakdown: s.cpu.Breakdown(),
+		CPUSpeed:     s.cpu.Speed(),
+		PathDrops:    s.path.TotalDrops(),
+		AvgNICQueue:  s.queueDepth.Mean(),
+	}
+	var goodBytes units.DataSize
+	var sumSKB, sumIdle, periods float64
+	for i, rx := range s.rxs {
+		b := rx.GoodBytes()
+		goodBytes += b
+		r.PerConn = append(r.PerConn, units.BandwidthFromBytes(b, s.cfg.Duration))
+		st := s.conns[i].Stats()
+		r.Retransmits += st.Retransmits
+		r.Lost += st.Lost
+		if st.MinRTT > 0 && (r.MinRTT == 0 || st.MinRTT < r.MinRTT) {
+			r.MinRTT = st.MinRTT
+		}
+		r.MaxBufferOcc += st.MaxBufferOcc
+		ps := st.PacerStats
+		sumSKB += float64(ps.AvgSKB) * float64(ps.Periods)
+		sumIdle += float64(ps.AvgIdle) * float64(ps.Periods)
+		periods += float64(ps.Periods)
+		r.PacingTimerEvents += ps.TimerArms
+	}
+	goodBytes -= s.warmupBytes
+	r.Goodput = units.BandwidthFromBytes(goodBytes, dur)
+	r.Fairness = fairness.Score(r.PerConn)
+	r.Intervals = s.intervals
+	if periods > 0 {
+		r.AvgSKB = units.DataSize(sumSKB / periods)
+		r.AvgIdle = time.Duration(sumIdle / periods)
+		if r.AvgIdle > 0 {
+			r.ExpectedTx = units.Bandwidth(
+				float64(r.AvgSKB) * 8 * float64(len(s.conns)) / r.AvgIdle.Seconds())
+		}
+	}
+	return r
+}

@@ -1,0 +1,100 @@
+// Package mastermod reproduces the paper's "master BBR kernel module" (§5):
+// a wrapper around any congestion-control algorithm that can disable the
+// inner model's computation, pin the congestion window, and pin the pacing
+// rate — the knobs the paper uses to attribute BBR's mobile slowdown to
+// packet pacing rather than to its model or cwnd choices.
+package mastermod
+
+import (
+	"fmt"
+
+	"mobbr/internal/cc"
+	"mobbr/internal/units"
+)
+
+// Overrides selects which aspects of the inner algorithm to pin.
+type Overrides struct {
+	// FixedCwnd pins the congestion window to this many packets
+	// (0 = leave to the inner module). The paper uses 70, Cubic's
+	// average for the same workload (§5.1).
+	FixedCwnd int
+	// FixedPacingRate pins the per-connection pacing rate
+	// (0 = leave to the inner module). §5.1.2 sweeps this.
+	FixedPacingRate units.Bandwidth
+	// DisableModel skips the inner module's per-ACK computation
+	// entirely, as §5.1.1 does to rule out BBR's model cost.
+	DisableModel bool
+}
+
+// residualAckCost is the per-ACK cost with the model disabled: the wrapper
+// still runs the (empty) congestion hook.
+const residualAckCost = 150
+
+// Module wraps an inner congestion-control with overrides.
+type Module struct {
+	inner cc.CongestionControl
+	ov    Overrides
+}
+
+// Wrap returns a master module around inner.
+func Wrap(inner cc.CongestionControl, ov Overrides) *Module {
+	if inner == nil {
+		panic("mastermod: nil inner congestion control")
+	}
+	return &Module{inner: inner, ov: ov}
+}
+
+// Factory wraps every instance produced by inner with the same overrides.
+func Factory(inner cc.Factory, ov Overrides) cc.Factory {
+	return func() cc.CongestionControl { return Wrap(inner(), ov) }
+}
+
+// Name implements cc.CongestionControl.
+func (m *Module) Name() string { return fmt.Sprintf("master[%s]", m.inner.Name()) }
+
+// Inner returns the wrapped module.
+func (m *Module) Inner() cc.CongestionControl { return m.inner }
+
+// WantsPacing implements cc.CongestionControl, deferring to the inner
+// module; force pacing on/off with tcp.Config.PacingOverride.
+func (m *Module) WantsPacing() bool { return m.inner.WantsPacing() }
+
+// AckCost implements cc.CongestionControl.
+func (m *Module) AckCost() float64 {
+	if m.ov.DisableModel {
+		return residualAckCost
+	}
+	return m.inner.AckCost()
+}
+
+// Init implements cc.CongestionControl.
+func (m *Module) Init(c cc.Conn) {
+	m.inner.Init(c)
+	m.apply(c)
+}
+
+// OnAck implements cc.CongestionControl: run the inner model unless
+// disabled, then pin whatever is overridden.
+func (m *Module) OnAck(c cc.Conn, rs *cc.RateSample) {
+	if !m.ov.DisableModel {
+		m.inner.OnAck(c, rs)
+	}
+	m.apply(c)
+}
+
+// OnEvent implements cc.CongestionControl.
+func (m *Module) OnEvent(c cc.Conn, ev cc.Event) {
+	if !m.ov.DisableModel {
+		m.inner.OnEvent(c, ev)
+	}
+	m.apply(c)
+}
+
+func (m *Module) apply(c cc.Conn) {
+	if m.ov.FixedCwnd > 0 {
+		c.SetCwnd(m.ov.FixedCwnd)
+	}
+	if m.ov.FixedPacingRate > 0 {
+		c.SetPacingRate(m.ov.FixedPacingRate)
+	}
+}

@@ -1,0 +1,120 @@
+package netem
+
+import (
+	"time"
+
+	"mobbr/internal/seg"
+	"mobbr/internal/sim"
+)
+
+// AckHandler consumes ACKs arriving back at the sender.
+type AckHandler func(a *seg.Ack)
+
+// PathConfig assembles hops into a one-way data path with an ACK return
+// path. The testbed topology (Fig. 1 of the paper) is phone → OpenWRT
+// router → server, so the default paths built by the presets have two hops:
+// the device NIC and the router uplink.
+type PathConfig struct {
+	// Hops, in order from sender to receiver.
+	Hops []PipeConfig
+	// AckDelay is the one-way return latency for ACKs. The return
+	// direction carries only ACK traffic in the paper's uplink workload,
+	// so it is modelled as pure delay.
+	AckDelay time.Duration
+}
+
+// Path is the emulated network between the phone's stack and the iPerf
+// server. The receiver is attached with SetReceiver; ACKs are returned to
+// the handler passed to ReturnAck.
+type Path struct {
+	eng   *sim.Engine
+	cfg   PathConfig
+	hops  []*Pipe
+	recv  PacketHandler
+	drops uint64
+}
+
+// NewPath builds the chain of pipes described by cfg.
+func NewPath(eng *sim.Engine, cfg PathConfig) *Path {
+	if len(cfg.Hops) == 0 {
+		panic("netem: path needs at least one hop")
+	}
+	p := &Path{eng: eng, cfg: cfg}
+	// Build from the last hop backwards so each pipe can point at the
+	// next one's Enqueue.
+	next := PacketHandler(func(pkt *seg.Packet) {
+		if p.recv != nil {
+			p.recv(pkt)
+		}
+	})
+	pipes := make([]*Pipe, len(cfg.Hops))
+	for i := len(cfg.Hops) - 1; i >= 0; i-- {
+		downstream := next
+		pipe := NewPipe(eng, cfg.Hops[i], downstream)
+		pipes[i] = pipe
+	}
+	for i := 0; i < len(pipes)-1; i++ {
+		i := i
+		// Rewire hop i to feed hop i+1 and count inter-hop drops.
+		pipes[i].next = func(pkt *seg.Packet) {
+			if !pipes[i+1].Enqueue(pkt) {
+				p.drops++
+			}
+		}
+	}
+	p.hops = pipes
+	return p
+}
+
+// SetReceiver attaches the handler that receives packets at the far end.
+func (p *Path) SetReceiver(h PacketHandler) { p.recv = h }
+
+// Send offers a packet to the first hop. It reports whether the packet was
+// accepted by that hop (drop-tail or loss injection may refuse it).
+func (p *Path) Send(pkt *seg.Packet) bool {
+	ok := p.hops[0].Enqueue(pkt)
+	if !ok {
+		p.drops++
+	}
+	return ok
+}
+
+// ReturnAck delivers an ACK to the sender-side handler after the return
+// path delay.
+func (p *Path) ReturnAck(a *seg.Ack, to AckHandler) {
+	if to == nil {
+		panic("netem: ReturnAck needs a handler")
+	}
+	p.eng.Schedule(p.cfg.AckDelay, func() { to(a) })
+}
+
+// Hop returns the i-th pipe, for configuring rates (WiFi) or reading stats.
+func (p *Path) Hop(i int) *Pipe { return p.hops[i] }
+
+// NumHops returns the number of hops.
+func (p *Path) NumHops() int { return len(p.hops) }
+
+// TotalDrops returns the count of packets dropped anywhere along the path.
+func (p *Path) TotalDrops() uint64 {
+	n := p.drops
+	return n
+}
+
+// Stats returns per-hop counters.
+func (p *Path) Stats() []PipeStats {
+	out := make([]PipeStats, len(p.hops))
+	for i, h := range p.hops {
+		out[i] = h.Stats()
+	}
+	return out
+}
+
+// MinRTT returns the no-load round-trip time of the path: per-hop
+// propagation plus one MSS serialization per hop plus the ACK return delay.
+func (p *Path) MinRTT() time.Duration {
+	var d time.Duration
+	for _, h := range p.hops {
+		d += h.cfg.Delay + h.cfg.Rate.TimeToSend(seg.MSS)
+	}
+	return d + p.cfg.AckDelay
+}

@@ -1,0 +1,171 @@
+// Package netem emulates the testbed network: rate-limited links with
+// drop-tail queues and propagation delay, assembled into paths (device NIC →
+// OpenWRT router → server), plus tc-style impairments (rate caps, extra
+// delay, random loss), a WiFi rate-variation model and an LTE preset.
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"mobbr/internal/seg"
+	"mobbr/internal/sim"
+	"mobbr/internal/units"
+)
+
+// PacketHandler consumes packets at the downstream end of a pipe.
+type PacketHandler func(p *seg.Packet)
+
+// PipeConfig describes one hop: a drop-tail queue draining into a serial
+// link with propagation delay, optionally with i.i.d. random loss (tc netem
+// style).
+type PipeConfig struct {
+	// Name labels the hop in stats output.
+	Name string
+	// Rate is the link's serialization rate.
+	Rate units.Bandwidth
+	// Delay is the one-way propagation delay added after serialization.
+	Delay time.Duration
+	// QueuePackets is the drop-tail queue capacity in packets. Zero means
+	// a default of 256 (a typical device/driver ring plus qdisc backlog).
+	QueuePackets int
+	// LossRate is an i.i.d. random drop probability applied on entry,
+	// before queueing (tc netem loss).
+	LossRate float64
+	// ECNThreshold, when > 0, marks packets CE instead of building queue
+	// beyond this depth (a RED/CoDel-style AQM marking step); drop-tail
+	// still applies at QueuePackets.
+	ECNThreshold int
+	// ReorderJitter adds a uniform random extra delay in [0, ReorderJitter)
+	// to each packet after serialization (tc netem delay jitter), which
+	// reorders packets whose spacing is below the jitter.
+	ReorderJitter time.Duration
+}
+
+// Pipe is a single emulated hop. Packets are enqueued, serialized at Rate in
+// FIFO order, delayed by Delay, and handed to the downstream handler.
+// Packets arriving to a full queue are dropped (drop-tail).
+type Pipe struct {
+	eng  *sim.Engine
+	cfg  PipeConfig
+	next PacketHandler
+
+	queue   []*seg.Packet
+	sending bool
+
+	// Stats.
+	enqueued   uint64
+	dropsQueue uint64
+	dropsRand  uint64
+	delivered  uint64
+	ceMarked   uint64
+	bytesOut   units.DataSize
+}
+
+// NewPipe returns a pipe on eng delivering to next.
+func NewPipe(eng *sim.Engine, cfg PipeConfig, next PacketHandler) *Pipe {
+	if cfg.Rate <= 0 {
+		panic(fmt.Sprintf("netem: pipe %q needs a positive rate", cfg.Name))
+	}
+	if cfg.QueuePackets == 0 {
+		cfg.QueuePackets = 256
+	}
+	if next == nil {
+		panic("netem: pipe needs a downstream handler")
+	}
+	return &Pipe{eng: eng, cfg: cfg, next: next}
+}
+
+// SetRate changes the link rate for packets serialized from now on. The
+// WiFi model uses this to emulate rate adaptation.
+func (p *Pipe) SetRate(r units.Bandwidth) {
+	if r <= 0 {
+		panic("netem: SetRate needs a positive rate")
+	}
+	p.cfg.Rate = r
+}
+
+// Rate returns the current link rate.
+func (p *Pipe) Rate() units.Bandwidth { return p.cfg.Rate }
+
+// Config returns the pipe's configuration.
+func (p *Pipe) Config() PipeConfig { return p.cfg }
+
+// Enqueue offers a packet to the hop. It reports whether the packet was
+// accepted (false means dropped by loss injection or a full queue).
+func (p *Pipe) Enqueue(pkt *seg.Packet) bool {
+	if p.cfg.LossRate > 0 && p.eng.Rand().Float64() < p.cfg.LossRate {
+		p.dropsRand++
+		return false
+	}
+	if len(p.queue) >= p.cfg.QueuePackets {
+		p.dropsQueue++
+		return false
+	}
+	p.enqueued++
+	if p.cfg.ECNThreshold > 0 && len(p.queue) >= p.cfg.ECNThreshold {
+		pkt.CE = true
+		p.ceMarked++
+	}
+	p.queue = append(p.queue, pkt)
+	if !p.sending {
+		p.serveNext()
+	}
+	return true
+}
+
+func (p *Pipe) serveNext() {
+	if len(p.queue) == 0 {
+		p.sending = false
+		return
+	}
+	p.sending = true
+	pkt := p.queue[0]
+	p.queue = p.queue[1:]
+	txTime := p.cfg.Rate.TimeToSend(pkt.Len)
+	p.eng.Schedule(txTime, func() {
+		p.delivered++
+		p.bytesOut += pkt.Len
+		delay := p.cfg.Delay
+		if p.cfg.ReorderJitter > 0 {
+			delay += time.Duration(p.eng.Rand().Int63n(int64(p.cfg.ReorderJitter)))
+		}
+		if delay > 0 {
+			p.eng.Schedule(delay, func() { p.next(pkt) })
+		} else {
+			p.next(pkt)
+		}
+		p.serveNext()
+	})
+}
+
+// QueueLen returns the instantaneous queue depth in packets (not counting
+// the packet being serialized).
+func (p *Pipe) QueueLen() int { return len(p.queue) }
+
+// Stats returns the pipe's counters.
+func (p *Pipe) Stats() PipeStats {
+	return PipeStats{
+		Name:       p.cfg.Name,
+		Enqueued:   p.enqueued,
+		Delivered:  p.delivered,
+		DropsQueue: p.dropsQueue,
+		DropsRand:  p.dropsRand,
+		CEMarked:   p.ceMarked,
+		BytesOut:   p.bytesOut,
+	}
+}
+
+// PipeStats is a snapshot of a pipe's packet counters.
+type PipeStats struct {
+	Name       string
+	Enqueued   uint64
+	Delivered  uint64
+	DropsQueue uint64
+	DropsRand  uint64
+	CEMarked   uint64
+	BytesOut   units.DataSize
+}
+
+// Drops returns total drops from all causes.
+func (s PipeStats) Drops() uint64 { return s.DropsQueue + s.DropsRand }

@@ -1,0 +1,168 @@
+package netem
+
+import (
+	"time"
+
+	"mobbr/internal/sim"
+	"mobbr/internal/units"
+)
+
+// TC mirrors the knobs the paper sets on the OpenWRT router with Linux
+// traffic control: an optional rate cap, added delay, random loss, and a
+// queue limit on the router's uplink. Zero values mean "leave the default".
+type TC struct {
+	// Rate caps the router uplink (0 = line rate).
+	Rate units.Bandwidth
+	// Delay adds one-way propagation at the router.
+	Delay time.Duration
+	// Loss injects i.i.d. random loss at the router.
+	Loss float64
+	// QueuePackets overrides the router queue depth (e.g. the paper's
+	// 10-packet shallow-buffer experiment in §5.2.3).
+	QueuePackets int
+	// ECNThreshold enables CE marking at the router once its queue
+	// reaches this depth (0 = ECN off).
+	ECNThreshold int
+	// ReorderJitter adds per-packet random delay at the router,
+	// reordering closely spaced packets (tc netem reorder).
+	ReorderJitter time.Duration
+}
+
+// EthernetLAN returns the paper's wired testbed: phone → USB-Ethernet NIC
+// (1 Gbps) → OpenWRT router (1 Gbps) → server, sub-millisecond base RTT.
+// tc impairments apply to the router hop, as in the paper.
+func EthernetLAN(eng *sim.Engine, tc TC) *Path {
+	routerRate := units.Gbps
+	if tc.Rate > 0 {
+		routerRate = tc.Rate
+	}
+	routerQueue := 256
+	if tc.QueuePackets > 0 {
+		routerQueue = tc.QueuePackets
+	}
+	return NewPath(eng, PathConfig{
+		Hops: []PipeConfig{
+			{
+				Name: "devnic",
+				Rate: units.Gbps,
+				// USB-to-Ethernet adapter latency (URB batching).
+				Delay: 120 * time.Microsecond,
+				// Device qdisc backlog (pfifo_fast default txqueuelen 1000).
+				QueuePackets: 1000,
+			},
+			{
+				Name:          "router",
+				Rate:          routerRate,
+				Delay:         80*time.Microsecond + tc.Delay,
+				QueuePackets:  routerQueue,
+				LossRate:      tc.Loss,
+				ECNThreshold:  tc.ECNThreshold,
+				ReorderJitter: tc.ReorderJitter,
+			},
+		},
+		// The return direction crosses the USB adapter again.
+		AckDelay: 170 * time.Microsecond,
+	})
+}
+
+// WiFiLAN returns the paper's wireless testbed: the phone one meter from
+// the OpenWRT access point. The air link is slower than wire, varies over
+// time, and adds jitter; see NewWiFiModulator. tc impairments apply to the
+// router hop.
+func WiFiLAN(eng *sim.Engine, tc TC) (*Path, *WiFiModulator) {
+	routerQueue := 256
+	if tc.QueuePackets > 0 {
+		routerQueue = tc.QueuePackets
+	}
+	airRate := 600 * units.Mbps // 802.11ac short-range effective uplink
+	if tc.Rate > 0 && tc.Rate < airRate {
+		airRate = tc.Rate
+	}
+	path := NewPath(eng, PathConfig{
+		Hops: []PipeConfig{
+			{
+				Name:         "air",
+				Rate:         airRate,
+				Delay:        800 * time.Microsecond, // contention + aggregation latency
+				QueuePackets: 512,                    // AP + driver aggregation buffers
+			},
+			{
+				Name:         "router",
+				Rate:         units.Gbps,
+				Delay:        200*time.Microsecond + tc.Delay,
+				QueuePackets: routerQueue,
+				LossRate:     tc.Loss,
+			},
+		},
+		AckDelay: 900 * time.Microsecond,
+	})
+	mod := NewWiFiModulator(eng, path.Hop(0), airRate)
+	return path, mod
+}
+
+// Cellular5G returns the forward-looking scenario both §4 and Appendix A.1
+// point at: a 5G mmWave uplink of ≈200 Mbps (per the paper's reference to
+// Narayanan et al.) with lower radio latency than LTE. At these rates the
+// phone's CPU — not the link — becomes the bottleneck again, so the pacing
+// problems the LTE experiment hides are expected to reappear.
+func Cellular5G(eng *sim.Engine, tc TC) *Path {
+	rate := 200 * units.Mbps
+	if tc.Rate > 0 {
+		rate = tc.Rate
+	}
+	q := 400
+	if tc.QueuePackets > 0 {
+		q = tc.QueuePackets
+	}
+	return NewPath(eng, PathConfig{
+		Hops: []PipeConfig{
+			{
+				Name:         "radio",
+				Rate:         rate,
+				Delay:        8*time.Millisecond + tc.Delay,
+				QueuePackets: q,
+				LossRate:     tc.Loss,
+			},
+			{
+				Name:         "core",
+				Rate:         units.Gbps,
+				Delay:        5 * time.Millisecond,
+				QueuePackets: 1000,
+			},
+		},
+		AckDelay: 7 * time.Millisecond,
+	})
+}
+
+// CellularLTE returns the Appendix A.1 setup: a T-Mobile LTE uplink. The
+// radio link is bandwidth-limited (≈15–20 Mbps), has tens of milliseconds
+// of latency, and deep (bufferbloat-prone) eNodeB buffers — so the phone's
+// CPU is never the bottleneck, which is exactly the paper's point.
+func CellularLTE(eng *sim.Engine, tc TC) *Path {
+	rate := 18 * units.Mbps
+	if tc.Rate > 0 {
+		rate = tc.Rate
+	}
+	q := 300
+	if tc.QueuePackets > 0 {
+		q = tc.QueuePackets
+	}
+	return NewPath(eng, PathConfig{
+		Hops: []PipeConfig{
+			{
+				Name:         "radio",
+				Rate:         rate,
+				Delay:        25*time.Millisecond + tc.Delay,
+				QueuePackets: q,
+				LossRate:     tc.Loss,
+			},
+			{
+				Name:         "core",
+				Rate:         units.Gbps,
+				Delay:        10 * time.Millisecond,
+				QueuePackets: 1000,
+			},
+		},
+		AckDelay: 20 * time.Millisecond,
+	})
+}

@@ -1,0 +1,84 @@
+package render
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	var buf strings.Builder
+	c := Chart{
+		Title: "Figure X",
+		Unit:  "Mbps",
+		Bars: []Bar{
+			{Label: "cubic", Value: 300},
+			{Label: "bbr", Value: 150, Note: "paper: 138"},
+		},
+		Width: 10,
+	}
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure X") {
+		t.Error("missing title")
+	}
+	// cubic is the max → 10 blocks; bbr half → 5 blocks.
+	if !strings.Contains(out, strings.Repeat("█", 10)) {
+		t.Errorf("full-scale bar missing:\n%s", out)
+	}
+	if !strings.Contains(out, strings.Repeat("█", 5)+" ") {
+		t.Errorf("half-scale bar missing:\n%s", out)
+	}
+	if !strings.Contains(out, "paper: 138") {
+		t.Error("note missing")
+	}
+	if !strings.Contains(out, "Mbps") {
+		t.Error("unit missing")
+	}
+}
+
+func TestChartZeroAndTiny(t *testing.T) {
+	var buf strings.Builder
+	c := Chart{Title: "t", Bars: []Bar{
+		{Label: "zero", Value: 0},
+		{Label: "tiny", Value: 0.001},
+		{Label: "big", Value: 1000},
+	}, Width: 20}
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A tiny nonzero value renders a sliver, not nothing.
+	if !strings.Contains(buf.String(), "▏") {
+		t.Errorf("tiny bar not rendered:\n%s", buf.String())
+	}
+}
+
+func TestFixedScaleClamps(t *testing.T) {
+	var buf strings.Builder
+	c := Chart{Title: "t", Max: 100, Width: 10, Bars: []Bar{{Label: "over", Value: 250}}}
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), strings.Repeat("█", 11)) {
+		t.Error("bar exceeded the chart width")
+	}
+}
+
+func TestGroupedSharedScale(t *testing.T) {
+	var buf strings.Builder
+	err := Grouped(&buf, "Mbps", 1000,
+		Chart{Title: "a", Bars: []Bar{{Label: "x", Value: 500}}, Width: 10},
+		Chart{Title: "b", Bars: []Bar{{Label: "y", Value: 1000}}, Width: 10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, strings.Repeat("█", 5)+" ") {
+		t.Errorf("500/1000 should be half scale:\n%s", out)
+	}
+	if !strings.Contains(out, strings.Repeat("█", 10)) {
+		t.Errorf("1000/1000 should be full scale:\n%s", out)
+	}
+}

@@ -1,0 +1,129 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAllExperimentsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" {
+			t.Errorf("experiment %+v missing id or title", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if len(e.Points) == 0 {
+			t.Errorf("experiment %q has no points", e.ID)
+		}
+		labels := map[string]bool{}
+		for _, p := range e.Points {
+			if p.Label == "" {
+				t.Errorf("%s: point with empty label", e.ID)
+			}
+			if labels[p.Label] {
+				t.Errorf("%s: duplicate label %q", e.ID, p.Label)
+			}
+			labels[p.Label] = true
+		}
+	}
+	// The paper's evaluation artifacts must all be present.
+	for _, id := range []string{"fig2", "fig3", "bbr2", "modeloff", "fixedrate",
+		"fig4", "fig5", "fig6", "fig7", "shallow", "fig8", "table2", "fig9", "memory"} {
+		if !seen[id] {
+			t.Errorf("missing paper experiment %q", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "fig8" {
+		t.Fatalf("got %q", e.ID)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+}
+
+func TestFigure2CoversTable1AndConnSweep(t *testing.T) {
+	e := Figure2()
+	// 4 configs × 2 CCs × 4 conn counts.
+	if len(e.Points) != 32 {
+		t.Fatalf("fig2 points = %d, want 32", len(e.Points))
+	}
+	anchors := 0
+	for _, p := range e.Points {
+		if p.PaperMbps > 0 {
+			anchors++
+		}
+	}
+	if anchors < 6 {
+		t.Errorf("fig2 has %d paper anchors, want >= 6", anchors)
+	}
+}
+
+func TestTable2PaperValues(t *testing.T) {
+	e := Table2()
+	if len(e.Points) != len(Strides) {
+		t.Fatalf("table2 points = %d, want %d", len(e.Points), len(Strides))
+	}
+	for _, p := range e.Points {
+		if p.PaperMbps <= 0 || p.PaperRTTms <= 0 {
+			t.Errorf("table2 %s missing paper values", p.Label)
+		}
+		if p.Spec.Stride < 1 {
+			t.Errorf("table2 %s stride %v", p.Label, p.Spec.Stride)
+		}
+	}
+}
+
+func TestRunExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	e, _ := ByID("modeloff")
+	rows, err := RunExperiment(e, time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(e.Points) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(e.Points))
+	}
+	for _, r := range rows {
+		if r.GoodputMbps <= 0 {
+			t.Errorf("%s: zero goodput", r.Point.Label)
+		}
+	}
+	var buf strings.Builder
+	Print(&buf, e, rows)
+	if !strings.Contains(buf.String(), "modeloff") {
+		t.Error("Print output missing experiment id")
+	}
+	if strings.Count(buf.String(), "\n") < len(rows)+2 {
+		t.Error("Print output too short")
+	}
+}
+
+func TestPacingOverridesAreDistinctPointers(t *testing.T) {
+	// Regression: the on/off specs share a *bool; mutating one experiment
+	// must not flip another's.
+	f4 := Figure4()
+	var onCount, offCount int
+	for _, p := range f4.Points {
+		if p.Spec.PacingOverride == nil {
+			onCount++
+		} else if !*p.Spec.PacingOverride {
+			offCount++
+		}
+	}
+	if onCount != 3 || offCount != 3 {
+		t.Errorf("fig4 pacing split = %d on / %d off, want 3/3", onCount, offCount)
+	}
+}

@@ -1,0 +1,90 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mobbr/internal/core"
+	"mobbr/internal/units"
+)
+
+// Row is the measured outcome of one experiment point.
+type Row struct {
+	Point Point
+	// GoodputMbps and GoodputCI are the seed-mean and 95% CI half-width.
+	GoodputMbps float64
+	GoodputCI   float64
+	// RTTms is the mean sampled smoothed RTT.
+	RTTms float64
+	// MinRTTms is the mean minimum RTT.
+	MinRTTms float64
+	// Retransmits is the seed-mean total retransmissions.
+	Retransmits float64
+	// SKBKbits is the mean socket-buffer (skb) length per pacing period
+	// in kilobits, as Table 2 reports it.
+	SKBKbits float64
+	// IdleMs is the mean pacing idle time per period in milliseconds.
+	IdleMs float64
+	// ExpectedMbps is Table 2's expected throughput skb×conns/idle.
+	ExpectedMbps float64
+	// MaxBufKB is the peak total socket-buffer occupancy in KB (§7.1.1).
+	MaxBufKB float64
+	// CPUUtil is the netstack CPU busy fraction.
+	CPUUtil float64
+	// Jain is the mean Jain fairness index of per-connection goodputs.
+	Jain float64
+}
+
+// RunExperiment executes every point of e over the given duration and seed
+// count, returning one row per point.
+func RunExperiment(e Experiment, dur time.Duration, seeds int) ([]Row, error) {
+	rows := make([]Row, 0, len(e.Points))
+	for _, p := range e.Points {
+		spec := p.Spec
+		spec.Duration = dur
+		spec.Warmup = dur / 5
+		agg, err := core.RunSeeds(spec, seeds)
+		if err != nil {
+			return nil, fmt.Errorf("repro %s/%s: %w", e.ID, p.Label, err)
+		}
+		var jain float64
+		for _, run := range agg.Runs {
+			jain += run.Report.Fairness.Jain
+		}
+		jain /= float64(len(agg.Runs))
+		rows = append(rows, Row{
+			Point:        p,
+			GoodputMbps:  agg.Goodput.Mean() / 1e6,
+			GoodputCI:    agg.Goodput.CI95() / 1e6,
+			RTTms:        agg.AvgRTT.Mean() / 1e6,
+			MinRTTms:     agg.MinRTT.Mean() / 1e6,
+			Retransmits:  agg.Retransmits.Mean(),
+			SKBKbits:     units.DataSize(agg.AvgSKB.Mean()).Kilobits(),
+			IdleMs:       agg.AvgIdle.Mean() / 1e6,
+			ExpectedMbps: agg.ExpectedTx.Mean() / 1e6,
+			MaxBufKB:     agg.MaxBufOcc.Mean() / 1024,
+			CPUUtil:      agg.CPUUtil.Mean(),
+			Jain:         jain,
+		})
+	}
+	return rows, nil
+}
+
+// Print writes rows as an aligned table to w, including the paper's values
+// where the text states them.
+func Print(w io.Writer, e Experiment, rows []Row) {
+	fmt.Fprintf(w, "== %s: %s\n", e.ID, e.Title)
+	fmt.Fprintf(w, "%-36s %9s %7s %8s %8s %9s %8s %8s %9s %6s\n",
+		"point", "Mbps", "±CI", "paper", "rtt ms", "retx", "skb Kb", "idle ms", "expect", "jain")
+	for _, r := range rows {
+		paper := "-"
+		if r.Point.PaperMbps > 0 {
+			paper = fmt.Sprintf("%.0f", r.Point.PaperMbps)
+		}
+		fmt.Fprintf(w, "%-36s %9.1f %7.1f %8s %8.2f %9.0f %8.1f %8.2f %9.0f %6.3f\n",
+			r.Point.Label, r.GoodputMbps, r.GoodputCI, paper,
+			r.RTTms, r.Retransmits, r.SKBKbits, r.IdleMs, r.ExpectedMbps, r.Jain)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,78 @@
+// Package seg defines the units of data moving through the simulated
+// network: MSS-sized packets on the wire, ACKs flowing back, and the
+// sender-side skb aggregates that the pacer and the CPU model reason about.
+package seg
+
+import (
+	"time"
+
+	"mobbr/internal/units"
+)
+
+// MSS is the maximum segment size used throughout the testbed (Ethernet
+// 1500-byte MTU minus 40 bytes of IP+TCP headers, matching the paper's
+// iPerf3-over-Ethernet setup).
+const MSS units.DataSize = 1460
+
+// Packet is one TCP data segment on the wire.
+type Packet struct {
+	// Flow identifies the connection the packet belongs to.
+	Flow int
+	// Seq is the first byte's sequence number.
+	Seq int64
+	// Len is the payload length in bytes (≤ MSS).
+	Len units.DataSize
+	// SentAt is the virtual time the packet left the sender's stack.
+	SentAt time.Duration
+	// Retx marks a retransmission.
+	Retx bool
+	// CE is the ECN Congestion-Experienced mark, set by an AQM queue
+	// instead of dropping when the sender negotiated ECN.
+	CE bool
+
+	// Rate-sample bookkeeping, mirroring struct tcp_skb_cb's rate fields
+	// (tx.delivered, tx.delivered_mstamp, tx.first_tx_mstamp,
+	// tx.is_app_limited): snapshotted at transmission so the ACK path can
+	// compute a delivery-rate sample per RFC draft-cheng-iccrg-delivery-rate.
+	DeliveredAtSend     int64
+	DeliveredTimeAtSend time.Duration
+	FirstSentAtSend     time.Duration
+	AppLimitedAtSend    bool
+}
+
+// End returns the sequence number one past the packet's last byte.
+func (p *Packet) End() int64 { return p.Seq + int64(p.Len) }
+
+// SackBlock is one contiguous range of received-but-not-cumulatively-acked
+// bytes reported by the receiver.
+type SackBlock struct {
+	Start, End int64
+}
+
+// Len returns the block length in bytes.
+func (b SackBlock) Len() int64 { return b.End - b.Start }
+
+// Ack is an acknowledgment flowing from receiver to sender.
+type Ack struct {
+	// Flow identifies the connection.
+	Flow int
+	// CumAck is the next byte the receiver expects (cumulative ACK).
+	CumAck int64
+	// Sacks reports up to three most recent out-of-order blocks.
+	Sacks []SackBlock
+	// EchoSentAt is the send timestamp of the packet that triggered this
+	// ACK (a timestamp-option stand-in used for RTT sampling).
+	EchoSentAt time.Duration
+	// AckedPktEnd is the end sequence of the packet that triggered the
+	// ACK; rate sampling uses the newest acked packet's snapshot.
+	AckedPktEnd int64
+	// Echoes of the triggering packet's rate-sample snapshot.
+	EchoDelivered     int64
+	EchoDeliveredTime time.Duration
+	EchoFirstSent     time.Duration
+	EchoAppLimited    bool
+	EchoRetx          bool
+	// CECount is how many CE-marked segments this ACK covers (the
+	// receiver's ECE echo, counted rather than latched, as AccECN does).
+	CECount int64
+}

@@ -1,0 +1,193 @@
+// Package sim implements a deterministic discrete-event simulation engine:
+// a virtual clock, an event heap, and cancellable timers. Every component of
+// the testbed (CPU model, links, queues, TCP endpoints, pacers) schedules
+// work on a single Engine, so a whole experiment runs single-threaded and
+// reproducibly from a seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a callback scheduled to run at a virtual time.
+type Event func()
+
+// Timer is a handle to a scheduled event that can be stopped or rescheduled.
+type Timer struct {
+	eng  *Engine
+	item *eventItem
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the timer
+// was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.item == nil || t.item.cancelled || t.item.fired {
+		return false
+	}
+	t.item.cancelled = true
+	return true
+}
+
+// Pending reports whether the timer is scheduled and has not yet fired.
+func (t *Timer) Pending() bool {
+	return t != nil && t.item != nil && !t.item.cancelled && !t.item.fired
+}
+
+// When returns the virtual time the timer will fire at. It is only
+// meaningful while the timer is pending.
+func (t *Timer) When() time.Duration {
+	if t == nil || t.item == nil {
+		return 0
+	}
+	return t.item.at
+}
+
+type eventItem struct {
+	at        time.Duration
+	seq       uint64 // tie-break so equal-time events run in schedule order
+	fn        Event
+	cancelled bool
+	fired     bool
+	index     int
+}
+
+type eventHeap []*eventItem
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*eventItem)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with New.
+type Engine struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+	// processed counts events executed, useful for runaway detection in tests.
+	processed uint64
+}
+
+// New returns an Engine whose random source is seeded with seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time, measured from the start of the run.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Schedule runs fn after delay of virtual time. A negative delay is treated
+// as zero (run as soon as the current event completes).
+func (e *Engine) Schedule(delay time.Duration, fn Event) *Timer {
+	if fn == nil {
+		panic("sim: Schedule with nil event")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	it := &eventItem{at: e.now + delay, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, it)
+	return &Timer{eng: e, item: it}
+}
+
+// ScheduleAt runs fn at absolute virtual time at. Times in the past are
+// clamped to now.
+func (e *Engine) ScheduleAt(at time.Duration, fn Event) *Timer {
+	return e.Schedule(at-e.now, fn)
+}
+
+// Step executes the next pending event. It reports whether an event ran.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		it := heap.Pop(&e.events).(*eventItem)
+		if it.cancelled {
+			continue
+		}
+		if it.at < e.now {
+			panic(fmt.Sprintf("sim: event scheduled at %v before now %v", it.at, e.now))
+		}
+		e.now = it.at
+		it.fired = true
+		e.processed++
+		it.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the virtual clock reaches end or no events
+// remain. Events scheduled exactly at end are executed. The clock is
+// advanced to end even if the event queue drains early, so subsequent
+// measurements see a consistent elapsed time.
+func (e *Engine) Run(end time.Duration) {
+	for len(e.events) > 0 {
+		// Peek at the next runnable event.
+		next := e.events[0]
+		if next.cancelled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > end {
+			break
+		}
+		e.Step()
+	}
+	if e.now < end {
+		e.now = end
+	}
+}
+
+// RunAll executes events until the queue drains or maxEvents events have
+// run, whichever comes first. It reports whether the queue drained.
+func (e *Engine) RunAll(maxEvents uint64) bool {
+	for n := uint64(0); n < maxEvents; n++ {
+		if !e.Step() {
+			return true
+		}
+	}
+	return len(e.events) == 0
+}
+
+// Pending returns the number of scheduled (non-cancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, it := range e.events {
+		if !it.cancelled {
+			n++
+		}
+	}
+	return n
+}

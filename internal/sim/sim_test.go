@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	e.Run(time.Second)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != time.Second {
+		t.Errorf("Now() = %v, want 1s after Run(1s)", e.Now())
+	}
+}
+
+func TestEqualTimeFIFO(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run(time.Second)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("equal-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	e := New(1)
+	fired := false
+	e.Schedule(-time.Second, func() { fired = true })
+	e.Step()
+	if !fired {
+		t.Fatal("negative-delay event did not fire")
+	}
+	if e.Now() != 0 {
+		t.Errorf("clock moved backwards to %v", e.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := New(1)
+	fired := false
+	tm := e.Schedule(10*time.Millisecond, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending after Schedule")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop should report true for a pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	e.Run(time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	e := New(1)
+	tm := e.Schedule(time.Millisecond, func() {})
+	e.Run(time.Second)
+	if tm.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after fire should report false")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New(1)
+	var ticks int
+	var tick func()
+	tick = func() {
+		ticks++
+		if ticks < 5 {
+			e.Schedule(time.Millisecond, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	e.Run(time.Second)
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+	if got := e.Now(); got != time.Second {
+		t.Fatalf("Now() = %v, want 1s", got)
+	}
+}
+
+func TestRunStopsAtEnd(t *testing.T) {
+	e := New(1)
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4, 5} {
+		d := d * time.Second
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.Run(3 * time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events before 3s, want 3 (inclusive end)", len(fired))
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	// Resume and finish.
+	e.Run(10 * time.Second)
+	if len(fired) != 5 {
+		t.Fatalf("fired %d after resume, want 5", len(fired))
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	e := New(1)
+	var at time.Duration = -1
+	e.ScheduleAt(42*time.Millisecond, func() { at = e.Now() })
+	e.Run(time.Second)
+	if at != 42*time.Millisecond {
+		t.Fatalf("event ran at %v, want 42ms", at)
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	e := New(1)
+	n := 0
+	var spin func()
+	spin = func() {
+		n++
+		if n < 100 {
+			e.Schedule(time.Microsecond, spin)
+		}
+	}
+	e.Schedule(0, spin)
+	if !e.RunAll(1000) {
+		t.Fatal("RunAll should drain")
+	}
+	if n != 100 {
+		t.Fatalf("n = %d, want 100", n)
+	}
+
+	// Runaway chain is bounded.
+	e2 := New(1)
+	var forever func()
+	forever = func() { e2.Schedule(time.Microsecond, forever) }
+	e2.Schedule(0, forever)
+	if e2.RunAll(50) {
+		t.Fatal("RunAll should report not-drained for unbounded chain")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []int64 {
+		e := New(42)
+		var out []int64
+		for i := 0; i < 20; i++ {
+			d := time.Duration(e.Rand().Intn(1000)) * time.Microsecond
+			e.Schedule(d, func() { out = append(out, int64(e.Now())) })
+		}
+		e.Run(time.Second)
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different event counts across identical runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the clock never runs backwards.
+func TestMonotonicClockProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New(7)
+		var times []time.Duration
+		for _, d := range delays {
+			e.Schedule(time.Duration(d)*time.Microsecond, func() {
+				times = append(times, e.Now())
+			})
+		}
+		e.Run(time.Hour)
+		if !sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] }) {
+			return false
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNilEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling nil event")
+		}
+	}()
+	New(1).Schedule(0, nil)
+}

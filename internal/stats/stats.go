@@ -1,0 +1,155 @@
+// Package stats provides the small statistical toolkit the simulator and the
+// experiment harness rely on: online mean/variance accumulation, percentiles,
+// time-weighted averages, and the windowed min/max filters that BBR uses for
+// its bandwidth and RTT estimates (a port of the Linux kernel's lib/minmax).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Online accumulates a running mean and variance using Welford's algorithm.
+// The zero value is ready to use.
+type Online struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates x into the accumulator.
+func (o *Online) Add(x float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// N returns the number of samples added.
+func (o *Online) N() int64 { return o.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (o *Online) Mean() float64 { return o.mean }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (o *Online) Min() float64 { return o.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (o *Online) Max() float64 { return o.max }
+
+// Var returns the unbiased sample variance, or 0 with fewer than 2 samples.
+func (o *Online) Var() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (o *Online) Stddev() float64 { return math.Sqrt(o.Var()) }
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval for the mean.
+func (o *Online) CI95() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return 1.96 * o.Stddev() / math.Sqrt(float64(o.n))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+// The input is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// TimeWeighted accumulates a time-weighted average of a piecewise-constant
+// signal: call Observe(t, v) whenever the value changes; the average weights
+// each value by how long it was held.
+type TimeWeighted struct {
+	started  bool
+	lastT    float64
+	lastV    float64
+	weighted float64
+	total    float64
+}
+
+// Observe records that the signal changed to v at time t (seconds, or any
+// monotonically nondecreasing unit).
+func (tw *TimeWeighted) Observe(t, v float64) {
+	if tw.started && t > tw.lastT {
+		dt := t - tw.lastT
+		tw.weighted += tw.lastV * dt
+		tw.total += dt
+	}
+	tw.started = true
+	tw.lastT = t
+	tw.lastV = v
+}
+
+// AverageAt closes the window at time t and returns the time-weighted mean.
+func (tw *TimeWeighted) AverageAt(t float64) float64 {
+	w, tot := tw.weighted, tw.total
+	if tw.started && t > tw.lastT {
+		dt := t - tw.lastT
+		w += tw.lastV * dt
+		tot += dt
+	}
+	if tot == 0 {
+		if tw.started {
+			return tw.lastV
+		}
+		return 0
+	}
+	return w / tot
+}

@@ -1,0 +1,218 @@
+package tcp
+
+import (
+	"time"
+
+	"mobbr/internal/cc"
+	"mobbr/internal/cpumodel"
+	"mobbr/internal/seg"
+	"mobbr/internal/units"
+)
+
+// OnAckArrival is the entry point for ACKs returning from the network. The
+// ACK is charged to the CPU (tcp_ack fast path plus the congestion module's
+// model cost) before any protocol state changes — so under CPU saturation
+// ACK processing queues up and measured RTTs inflate, exactly the softirq
+// backlog the paper observes on low-end configurations.
+func (c *Conn) OnAckArrival(a *seg.Ack) {
+	if c.done {
+		return
+	}
+	costs := c.cpu.Costs()
+	c.cpu.Submit(cpumodel.OpAckProcess, costs.AckProcess, nil)
+	c.cpu.Submit(cpumodel.OpCCUpdate, c.ccMod.AckCost(), func() { c.processAck(a) })
+}
+
+// processAck runs once the CPU has finished the ACK's protocol work.
+func (c *Conn) processAck(a *seg.Ack) {
+	if c.done {
+		return
+	}
+	now := c.eng.Now()
+	priorInflight := c.inflight
+
+	rs := cc.RateSample{Delivered: -1, Interval: -1, RTT: -1}
+	var (
+		bestSnap     int64 = -1
+		priorTime    time.Duration
+		sendInterval time.Duration
+		deliveredPkt int64
+	)
+	deliver := func(p *pktInfo) {
+		if p.acked {
+			return
+		}
+		p.acked = true
+		if p.inFlite {
+			p.inFlite = false
+			c.inflight--
+		}
+		deliveredPkt++
+		c.delivered++
+		// tcp_rate_skb_delivered: adopt the newest acked packet's
+		// snapshots and move the send-window origin to its send time.
+		if p.snapDelivered >= bestSnap {
+			bestSnap = p.snapDelivered
+			priorTime = p.snapDeliveredTime
+			sendInterval = p.sentAt - p.snapFirstTx
+			rs.IsAppLimited = p.snapAppLimited
+			rs.IsRetrans = p.retx
+			c.firstTx = p.sentAt
+		}
+	}
+
+	// Cumulative ACK.
+	if a.CumAck > c.sndUna {
+		for _, p := range c.board.popAcked(a.CumAck) {
+			if p.sacked {
+				// Already delivered when SACKed; just retire.
+				p.acked = true
+				continue
+			}
+			deliver(p)
+		}
+		c.sndUna = a.CumAck
+		c.rtoBackoff = 0
+	}
+
+	// SACK blocks.
+	for _, b := range a.Sacks {
+		for _, p := range c.board.markSacked(b.Start, b.End) {
+			deliver(p)
+		}
+	}
+
+	if deliveredPkt > 0 {
+		c.deliveredTime = now
+		// The rtx-queue walk frees one scoreboard entry per covered
+		// packet (tcp_clean_rtx_queue); charge it now — the latency
+		// lands on whatever work queues behind this ACK.
+		c.cpu.Submit(cpumodel.OpAckProcess,
+			float64(deliveredPkt)*c.cpu.Costs().AckPerSeg, nil)
+	}
+
+	// RTT sample (Karn's rule: never from retransmitted segments).
+	if !a.EchoRetx && a.EchoSentAt > 0 {
+		if rtt := now - a.EchoSentAt; rtt > 0 {
+			c.updateRTT(rtt)
+			rs.RTT = rtt
+		}
+	}
+
+	// Loss detection.
+	// RACK reordering window: a quarter RTT, clamped to [1ms, 10ms].
+	reoWnd := c.srtt / 4
+	if reoWnd < time.Millisecond {
+		reoWnd = time.Millisecond
+	}
+	if reoWnd > 10*time.Millisecond {
+		reoWnd = 10 * time.Millisecond
+	}
+	newLost := c.board.detectLosses(c.cfg.DupThresh, reoWnd)
+	for _, p := range newLost {
+		if p.inFlite {
+			p.inFlite = false
+			c.inflight--
+		}
+		c.lostTotal++
+	}
+	rs.Losses = int64(len(newLost))
+
+	// Recovery state machine.
+	if len(newLost) > 0 && c.state == cc.StateOpen {
+		c.state = cc.StateRecovery
+		c.recoveryPoint = c.sndNxt
+		c.ccMod.OnEvent(c, cc.EventEnterRecovery)
+	}
+	if c.state != cc.StateOpen && a.CumAck >= c.recoveryPoint {
+		c.state = cc.StateOpen
+		c.ccMod.OnEvent(c, cc.EventExitRecovery)
+	}
+
+	// ECN: count echoes and fire the classic-ECN response point at most
+	// once per RTT (tcp_ecn_rcv_ece-style rate limiting).
+	rs.CECount = a.CECount
+	if a.CECount > 0 {
+		c.ceTotal += a.CECount
+		if now-c.lastECEResponse >= c.srtt && c.state == cc.StateOpen {
+			c.lastECEResponse = now
+			c.ccMod.OnEvent(c, cc.EventECE)
+		}
+	}
+
+	// Rate sample generation (tcp_rate_gen).
+	rs.AckedSacked = deliveredPkt
+	rs.PriorInFlight = priorInflight
+	if bestSnap >= 0 {
+		rs.PriorDelivered = bestSnap
+		rs.Delivered = c.delivered - bestSnap
+		ackInterval := now - priorTime
+		iv := sendInterval
+		if ackInterval > iv {
+			iv = ackInterval
+		}
+		rs.Interval = iv
+		if minr := c.MinRTT(); minr > 0 && iv < minr {
+			// Too short to be a trustworthy bandwidth sample.
+			rs.Interval = -1
+		}
+	}
+	if c.appLimited > 0 && c.delivered > c.appLimited {
+		c.appLimited = 0
+	}
+
+	c.ccMod.OnAck(c, &rs)
+	if !c.ccMod.WantsPacing() {
+		c.updatePacingRateFromCwnd()
+	}
+
+	// RTO management.
+	if c.inflight > 0 || c.board.firstLost() != nil {
+		c.armRTO()
+	} else if c.rtoTimer != nil {
+		c.rtoTimer.Stop()
+	}
+
+	// Freed window means room in the socket buffer for the app writer,
+	// then the ACK clock triggers a send attempt.
+	c.appPump()
+	c.trySend()
+}
+
+// updateRTT applies RFC 6298 smoothing and feeds the min-RTT filter. The
+// sample is measured at ACK-processing completion, so CPU queueing delay is
+// part of it — matching how the kernel's srtt inflates under softirq load.
+func (c *Conn) updateRTT(rtt time.Duration) {
+	c.lastRTT = rtt
+	c.rttSample.Add(float64(rtt))
+	if c.srtt == 0 {
+		c.srtt = rtt
+		c.rttvar = rtt / 2
+	} else {
+		d := c.srtt - rtt
+		if d < 0 {
+			d = -d
+		}
+		c.rttvar = (3*c.rttvar + d) / 4
+		c.srtt = (7*c.srtt + rtt) / 8
+	}
+	c.minRTT.Update(uint64(c.eng.Now()), float64(rtt))
+}
+
+// updatePacingRateFromCwnd maintains sk_pacing_rate for modules that do not
+// set it themselves (tcp_update_pacing_rate): rate = ratio × cwnd×MSS/srtt,
+// ratio 2.0 in slow start and 1.2 in congestion avoidance. The rate drives
+// TSO autosizing always, and the pacing gate when pacing is forced on
+// (paper §5.2.2's "enable pacing for Cubic" experiment).
+func (c *Conn) updatePacingRateFromCwnd() {
+	if c.srtt <= 0 {
+		return
+	}
+	ratio := 1.2
+	if c.cwnd < c.ssthresh/2 {
+		ratio = 2.0
+	}
+	bytesPerRTT := float64(c.cwnd) * float64(c.cfg.MSS)
+	rate := units.Bandwidth(bytesPerRTT * 8 / c.srtt.Seconds() * ratio)
+	c.SetPacingRate(rate)
+}

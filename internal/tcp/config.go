@@ -1,0 +1,85 @@
+// Package tcp implements the simulated TCP sender and receiver endpoints:
+// cwnd/inflight accounting, a SACK scoreboard with dupack-threshold loss
+// detection, RTO, delivery-rate sampling per the kernel's tcp_rate.c, TSO
+// autosizing and internal pacing, and a delayed-ACK receiver. Every CPU-
+// visible operation (skb transmission, per-segment work, ACK processing,
+// congestion-control updates, pacing-timer callbacks, RTO handling) is
+// charged to the device's cpumodel.CPU, which is how the paper's low-end
+// phone bottleneck is reproduced.
+package tcp
+
+import (
+	"time"
+
+	"mobbr/internal/pacing"
+	"mobbr/internal/seg"
+	"mobbr/internal/units"
+)
+
+// Config parameterizes a connection.
+type Config struct {
+	// MSS is the maximum segment size (default seg.MSS).
+	MSS units.DataSize
+	// InitialCwnd is the initial congestion window in packets
+	// (default 10, per RFC 6928).
+	InitialCwnd int
+	// MaxCwnd caps the congestion window in packets; it stands in for
+	// the send-buffer/receive-window limit (default SndBuf/MSS).
+	MaxCwnd int
+	// SndBuf is the socket send buffer (default 256 KB); it bounds
+	// MaxCwnd and is reported by the memory experiment (§7.1.1).
+	SndBuf units.DataSize
+	// DelAckEvery is the receiver's ack-every-N policy (default 2).
+	DelAckEvery int
+	// DelAckTimeout is the delayed-ACK timer (default 40 ms).
+	DelAckTimeout time.Duration
+	// MinRTO / MaxRTO clamp the retransmission timeout
+	// (defaults 200 ms / 60 s, per the Linux defaults).
+	MinRTO time.Duration
+	MaxRTO time.Duration
+	// DupThresh is the SACK/dupack reordering threshold (default 3).
+	DupThresh int
+	// Pacing configures the internal pacer. Pacing.Enabled is forced on
+	// when the congestion module wants pacing (BBR), unless
+	// PacingOverride says otherwise.
+	Pacing pacing.Config
+	// PacingOverride, when non-nil, forces pacing on or off regardless
+	// of the congestion module — the §5.2 master-module knob.
+	PacingOverride *bool
+	// AppBytes limits the bytes the application writes; 0 means an
+	// unbounded bulk source (iPerf3 default).
+	AppBytes units.DataSize
+	// StartDelay delays the connection's first transmission.
+	StartDelay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MSS <= 0 {
+		c.MSS = seg.MSS
+	}
+	if c.InitialCwnd <= 0 {
+		c.InitialCwnd = 10
+	}
+	if c.SndBuf <= 0 {
+		c.SndBuf = 256 * units.KB
+	}
+	if c.MaxCwnd <= 0 {
+		c.MaxCwnd = int(c.SndBuf / c.MSS)
+	}
+	if c.DelAckEvery <= 0 {
+		c.DelAckEvery = 2
+	}
+	if c.DelAckTimeout <= 0 {
+		c.DelAckTimeout = 40 * time.Millisecond
+	}
+	if c.MinRTO <= 0 {
+		c.MinRTO = 200 * time.Millisecond
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = 60 * time.Second
+	}
+	if c.DupThresh <= 0 {
+		c.DupThresh = 3
+	}
+	return c
+}

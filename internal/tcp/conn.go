@@ -1,0 +1,589 @@
+package tcp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mobbr/internal/cc"
+	"mobbr/internal/cpumodel"
+	"mobbr/internal/netem"
+	"mobbr/internal/pacing"
+	"mobbr/internal/seg"
+	"mobbr/internal/sim"
+	"mobbr/internal/stats"
+	"mobbr/internal/units"
+)
+
+// devnicHighWatermark models TSQ/qdisc backpressure: when the device NIC
+// queue is deeper than this, the stack defers instead of dropping locally.
+// Linux TSQ allows ~tcp_limit_output_bytes per socket in the qdisc, so a
+// 20-connection unpaced sender can keep most of the 1000-slot txqueue full.
+const devnicHighWatermark = 600
+
+// minRTTWindow is the transport's windowed min-RTT filter length
+// (sysctl tcp_min_rtt_wlen is 300 s; runs here are much shorter).
+const minRTTWindow = 30 * time.Second
+
+// Conn is one simulated TCP connection's sender side, running on the
+// phone: it owns the scoreboard, congestion state, pacer and timers, and
+// charges all its work to the device CPU.
+type Conn struct {
+	id  int
+	eng *sim.Engine
+	cpu *cpumodel.CPU
+	// appCPU, when set, executes the tcp_sendmsg payload copy in
+	// process context on the application core, in parallel with the
+	// softirq core's transmit path. nil means the copy is not modelled
+	// (unit tests) — the softirq path alone gates sends.
+	appCPU *cpumodel.CPU
+	path   *netem.Path
+	cfg    Config
+	ccMod  cc.CongestionControl
+	pacer  *pacing.Pacer
+
+	// Sequence space (bytes).
+	sndNxt, sndUna int64
+	board          scoreboard
+	inflight       int
+
+	cwnd, ssthresh int
+	pacingRate     units.Bandwidth
+	state          cc.State
+	recoveryPoint  int64
+
+	// Delivery accounting (packets), per tcp_rate.c.
+	delivered       int64
+	deliveredTime   time.Duration
+	firstTx         time.Duration
+	appLimited      int64
+	lostTotal       int64
+	retransTotal    int64
+	ceTotal         int64
+	lastECEResponse time.Duration
+
+	srtt, rttvar, lastRTT time.Duration
+	minRTT                *stats.WindowedMin
+
+	rtoTimer    *sim.Timer
+	rtoBackoff  uint
+	pacingTimer *sim.Timer
+	xmitBusy    bool
+	cwndLimited bool
+	started     bool
+	done        bool
+
+	appSent int64 // bytes handed to the network so far (for AppBytes limit)
+
+	// Application-source pipeline (when appCPU is set): the sender task
+	// keeps the socket buffer filled ahead of transmission, so the
+	// per-byte copy cost loads the app core without sitting inside the
+	// pacing period — exactly how iperf3's write loop behaves.
+	buffered  units.DataSize // copied into the sndbuf, not yet sent
+	appCopied int64          // total bytes ever copied
+	appBusy   bool
+
+	maxBufOcc units.DataSize
+	rttSample stats.Online
+}
+
+// NewConn creates a connection with the given flow id. The congestion
+// module is built fresh from factory. Call Start to begin transmitting.
+func NewConn(id int, eng *sim.Engine, cpu *cpumodel.CPU, path *netem.Path, cfg Config, factory cc.Factory) *Conn {
+	cfg = cfg.withDefaults()
+	c := &Conn{
+		id:       id,
+		eng:      eng,
+		cpu:      cpu,
+		path:     path,
+		cfg:      cfg,
+		ccMod:    factory(),
+		cwnd:     cfg.InitialCwnd,
+		ssthresh: 1 << 30,
+		minRTT:   stats.NewWindowedMin(uint64(minRTTWindow)),
+	}
+	pcfg := cfg.Pacing
+	pcfg.Enabled = c.ccMod.WantsPacing()
+	if cfg.PacingOverride != nil {
+		pcfg.Enabled = *cfg.PacingOverride
+	}
+	c.pacer = pacing.New(pcfg)
+	c.ccMod.Init(c)
+	return c
+}
+
+// ID returns the flow id.
+func (c *Conn) ID() int { return c.id }
+
+// CC returns the connection's congestion-control module.
+func (c *Conn) CC() cc.CongestionControl { return c.ccMod }
+
+// Pacer returns the connection's pacer, for stats sampling.
+func (c *Conn) Pacer() *pacing.Pacer { return c.pacer }
+
+// SetAppCPU attaches the application core that pays the per-byte sendmsg
+// copy cost. Call before Start.
+func (c *Conn) SetAppCPU(cpu *cpumodel.CPU) { c.appCPU = cpu }
+
+// Start schedules the first transmission (after cfg.StartDelay).
+func (c *Conn) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.eng.Schedule(c.cfg.StartDelay, func() {
+		c.appPump()
+		c.trySend()
+	})
+}
+
+// appCopyChunk is how much one iperf write copies into the socket buffer.
+const appCopyChunk = 16 * units.KB
+
+// appPump keeps the socket buffer filled: whenever there is room (and the
+// application still has data), it charges one chunk's copy to the app core
+// and re-arms itself on completion.
+func (c *Conn) appPump() {
+	if c.appCPU == nil || c.appBusy || c.done {
+		return
+	}
+	room := c.cfg.SndBuf - c.buffered - units.DataSize(c.inflight)*c.cfg.MSS
+	if room < c.cfg.MSS {
+		return
+	}
+	chunk := appCopyChunk
+	if chunk > room {
+		chunk = room
+	}
+	if c.cfg.AppBytes > 0 {
+		rem := int64(c.cfg.AppBytes) - c.appCopied
+		if rem <= 0 {
+			return
+		}
+		if rem < int64(chunk) {
+			chunk = units.DataSize(rem)
+		}
+	}
+	c.appBusy = true
+	cost := float64(chunk) * c.cpu.Costs().CopyPerByte
+	c.appCPU.Submit(cpumodel.OpDataCopy, cost, func() {
+		c.appBusy = false
+		if c.done {
+			return
+		}
+		c.buffered += chunk
+		c.appCopied += int64(chunk)
+		c.appPump()
+		c.trySend()
+	})
+}
+
+// Stop halts transmission and cancels timers.
+func (c *Conn) Stop() {
+	c.done = true
+	if c.rtoTimer != nil {
+		c.rtoTimer.Stop()
+	}
+	if c.pacingTimer != nil {
+		c.pacingTimer.Stop()
+	}
+}
+
+// --- cc.Conn interface -----------------------------------------------------
+
+// Now implements cc.Conn.
+func (c *Conn) Now() time.Duration { return c.eng.Now() }
+
+// MSS implements cc.Conn.
+func (c *Conn) MSS() units.DataSize { return c.cfg.MSS }
+
+// Cwnd implements cc.Conn.
+func (c *Conn) Cwnd() int { return c.cwnd }
+
+// SetCwnd implements cc.Conn, clamping to [1, MaxCwnd].
+func (c *Conn) SetCwnd(pkts int) {
+	if pkts < 1 {
+		pkts = 1
+	}
+	if pkts > c.cfg.MaxCwnd {
+		pkts = c.cfg.MaxCwnd
+	}
+	c.cwnd = pkts
+}
+
+// Ssthresh implements cc.Conn.
+func (c *Conn) Ssthresh() int { return c.ssthresh }
+
+// SetSsthresh implements cc.Conn.
+func (c *Conn) SetSsthresh(pkts int) {
+	if pkts < 2 {
+		pkts = 2
+	}
+	c.ssthresh = pkts
+}
+
+// PacingRate implements cc.Conn.
+func (c *Conn) PacingRate() units.Bandwidth { return c.pacingRate }
+
+// SetPacingRate implements cc.Conn.
+func (c *Conn) SetPacingRate(r units.Bandwidth) {
+	if r < 0 {
+		r = 0
+	}
+	c.pacingRate = r
+}
+
+// PacketsInFlight implements cc.Conn.
+func (c *Conn) PacketsInFlight() int { return c.inflight }
+
+// Delivered implements cc.Conn.
+func (c *Conn) Delivered() int64 { return c.delivered }
+
+// Lost implements cc.Conn.
+func (c *Conn) Lost() int64 { return c.lostTotal }
+
+// SRTT implements cc.Conn.
+func (c *Conn) SRTT() time.Duration { return c.srtt }
+
+// MinRTT implements cc.Conn.
+func (c *Conn) MinRTT() time.Duration { return time.Duration(c.minRTT.Get()) }
+
+// LastRTT implements cc.Conn.
+func (c *Conn) LastRTT() time.Duration { return c.lastRTT }
+
+// State implements cc.Conn.
+func (c *Conn) State() cc.State { return c.state }
+
+// IsCwndLimited implements cc.Conn.
+func (c *Conn) IsCwndLimited() bool { return c.cwndLimited }
+
+// Rand implements cc.Conn.
+func (c *Conn) Rand() *rand.Rand { return c.eng.Rand() }
+
+// --- send engine ------------------------------------------------------------
+
+// appBacklogSegs returns how many new segments the application has ready.
+// With an app core attached, only bytes already copied into the socket
+// buffer are sendable; otherwise the source is treated as instantaneous.
+func (c *Conn) appBacklogSegs() int {
+	if c.appCPU != nil {
+		segs := int(c.buffered / c.cfg.MSS)
+		if segs == 0 && c.buffered > 0 && c.cfg.AppBytes > 0 &&
+			c.appCopied >= int64(c.cfg.AppBytes) {
+			segs = 1 // short final segment
+		}
+		return segs
+	}
+	if c.cfg.AppBytes <= 0 {
+		return 1 << 20 // unbounded bulk source
+	}
+	rem := int64(c.cfg.AppBytes) - c.sndNxt
+	if rem <= 0 {
+		return 0
+	}
+	segs := rem / int64(c.cfg.MSS)
+	if rem%int64(c.cfg.MSS) != 0 {
+		segs++
+	}
+	return int(segs)
+}
+
+// trySend attempts to transmit one skb: retransmissions first, then new
+// data, up to the TSO-autosized batch, the cwnd, and the pacing gate.
+func (c *Conn) trySend() {
+	if c.xmitBusy || c.done {
+		return
+	}
+	now := c.eng.Now()
+	if ok, wait := c.pacer.CanSendAt(now); !ok {
+		c.armPacingTimer(wait)
+		return
+	}
+	// TSQ-style backpressure: if the local qdisc is deep, defer rather
+	// than overrun it.
+	if c.path.Hop(0).QueueLen() > devnicHighWatermark {
+		c.eng.Schedule(250*time.Microsecond, c.trySend)
+		return
+	}
+	avail := c.cwnd - c.inflight
+	if avail <= 0 {
+		c.cwndLimited = true
+		return
+	}
+	rate := c.pacer.Rate(c.pacingRate)
+	target := c.pacer.SKBSegs(rate, c.cfg.MSS)
+	c.cwndLimited = target >= avail
+	if target > avail {
+		target = avail
+	}
+	// PRR-style conservatism: during recovery, meter (re)transmissions
+	// out a couple of segments at a time instead of re-bursting whole
+	// windows into a queue that just dropped them.
+	if c.state != cc.StateOpen && target > 2 {
+		target = 2
+	}
+	retx := c.board.lostPending(target)
+	newSegs := 0
+	if rem := target - len(retx); rem > 0 {
+		backlog := c.appBacklogSegs()
+		if backlog < rem {
+			rem = backlog
+			c.cwndLimited = false
+		}
+		newSegs = rem
+	}
+	if len(retx)+newSegs == 0 {
+		if c.appBacklogSegs() == 0 && c.inflight > 0 {
+			c.markAppLimited()
+		}
+		return
+	}
+	c.xmitBusy = true
+	// The pacing clock runs from the moment the socket is released to
+	// transmit (tcp_update_skb_after_send arms the hrtimer at transmit),
+	// so the segmentation/driver work below overlaps the idle gap rather
+	// than extending it.
+	paceFrom := now
+	costs := c.cpu.Costs()
+	if len(retx) > 0 {
+		c.cpu.Submit(cpumodel.OpRetransmit, float64(len(retx))*costs.Retransmit, nil)
+	}
+	c.cpu.Submit(cpumodel.OpSKBXmit, costs.SKBXmit, nil)
+	total := len(retx) + newSegs
+	c.cpu.Submit(cpumodel.OpSegXmit, float64(total)*costs.SegXmit, func() {
+		c.emit(paceFrom, retx, newSegs)
+	})
+}
+
+// markAppLimited records that the sender ran out of application data, per
+// tcp_rate_check_app_limited.
+func (c *Conn) markAppLimited() {
+	v := c.delivered + int64(c.inflight)
+	if v < 1 {
+		v = 1
+	}
+	c.appLimited = v
+}
+
+// snapshot stamps a packet with the rate-sample state at transmission.
+func (c *Conn) snapshot(p *pktInfo) {
+	p.snapDelivered = c.delivered
+	p.snapDeliveredTime = c.deliveredTime
+	p.snapFirstTx = c.firstTx
+	p.snapAppLimited = c.appLimited > 0
+}
+
+// emit runs at CPU completion of the transmit job: it stamps, snapshots and
+// injects the segments, then advances the pacing schedule (whose clock runs
+// from paceFrom, the transmit-release time).
+func (c *Conn) emit(paceFrom time.Duration, retx []*pktInfo, newSegs int) {
+	c.xmitBusy = false
+	if c.done {
+		return
+	}
+	now := c.eng.Now()
+	if c.inflight == 0 {
+		// packets_out == 0: reset the rate-sample send window
+		// (tcp_rate_skb_sent). This is what makes isolated high-stride
+		// bursts measure burst-local delivery rates.
+		c.firstTx = now
+		c.deliveredTime = now
+	}
+	var bytes units.DataSize
+	sent := 0
+	for _, p := range retx {
+		if p.acked || p.sacked || !p.lost || p.inFlite {
+			continue
+		}
+		p.lost = false
+		p.retx = true
+		p.inFlite = true
+		p.sentAt = now
+		c.snapshot(p)
+		c.inflight++
+		c.retransTotal++
+		bytes += p.len
+		sent++
+		c.path.Send(c.mkPacket(p))
+	}
+	for i := 0; i < newSegs; i++ {
+		l := c.cfg.MSS
+		if c.appCPU != nil {
+			if c.buffered < l {
+				if c.buffered > 0 && c.cfg.AppBytes > 0 &&
+					c.appCopied >= int64(c.cfg.AppBytes) {
+					l = c.buffered // short final segment
+				} else {
+					break
+				}
+			}
+			c.buffered -= l
+		}
+		if c.cfg.AppBytes > 0 {
+			if rem := int64(c.cfg.AppBytes) - c.sndNxt; rem <= 0 {
+				break
+			} else if rem < int64(l) {
+				l = units.DataSize(rem)
+			}
+		}
+		p := &pktInfo{seq: c.sndNxt, len: l, sentAt: now, inFlite: true}
+		c.snapshot(p)
+		c.board.add(p)
+		c.sndNxt += int64(l)
+		c.appSent += int64(l)
+		c.inflight++
+		bytes += l
+		sent++
+		c.path.Send(c.mkPacket(p))
+	}
+	if sent == 0 {
+		return
+	}
+	c.pacer.OnSKBSent(paceFrom, bytes, c.pacer.Rate(c.pacingRate))
+	if occ := units.DataSize(c.inflight) * c.cfg.MSS; occ > c.maxBufOcc {
+		c.maxBufOcc = occ
+	}
+	c.armRTO()
+	if c.pacer.Enabled() {
+		// Under pacing every subsequent send goes through the timer
+		// path (tcp_internal_pacing arms the hrtimer unconditionally),
+		// so the expiry/tasklet cost is paid per data-send even when
+		// the gate time has already passed.
+		_, wait := c.pacer.CanSendAt(now)
+		c.armPacingTimer(wait)
+		return
+	}
+	c.trySend()
+}
+
+func (c *Conn) mkPacket(p *pktInfo) *seg.Packet {
+	return &seg.Packet{
+		Flow:                c.id,
+		Seq:                 p.seq,
+		Len:                 p.len,
+		SentAt:              p.sentAt,
+		Retx:                p.retx,
+		DeliveredAtSend:     p.snapDelivered,
+		DeliveredTimeAtSend: p.snapDeliveredTime,
+		FirstSentAtSend:     p.snapFirstTx,
+		AppLimitedAtSend:    p.snapAppLimited,
+	}
+}
+
+// armPacingTimer schedules the pacing-gate reopening. The timer's expiry is
+// charged to the CPU (OpPacingTimer) before the send attempt runs — the
+// per-event overhead at the heart of the paper. With hardware offload
+// (§7.1.4) the NIC enforces the gap and the CPU pays nothing per event.
+func (c *Conn) armPacingTimer(wait time.Duration) {
+	if c.pacingTimer != nil && c.pacingTimer.Pending() {
+		return
+	}
+	c.pacer.TimerArmed()
+	c.pacingTimer = c.eng.Schedule(wait, func() {
+		if c.done {
+			return
+		}
+		if c.pacer.Config().HardwareOffload {
+			c.trySend()
+			return
+		}
+		c.cpu.SubmitOp(cpumodel.OpPacingTimer, c.trySend)
+	})
+}
+
+// rto returns the current retransmission timeout with backoff.
+func (c *Conn) rto() time.Duration {
+	rto := c.srtt + 4*c.rttvar
+	if rto < c.cfg.MinRTO {
+		rto = c.cfg.MinRTO
+	}
+	rto <<= c.rtoBackoff
+	if rto > c.cfg.MaxRTO {
+		rto = c.cfg.MaxRTO
+	}
+	return rto
+}
+
+func (c *Conn) armRTO() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Stop()
+	}
+	c.rtoTimer = c.eng.Schedule(c.rto(), c.onRTOTimer)
+}
+
+func (c *Conn) onRTOTimer() {
+	if c.done || c.inflight == 0 && c.board.firstLost() == nil {
+		return
+	}
+	c.cpu.SubmitOp(cpumodel.OpRTO, c.enterLoss)
+}
+
+// enterLoss is tcp_enter_loss: everything unsacked is marked lost, the
+// congestion module is told, and the head is retransmitted.
+func (c *Conn) enterLoss() {
+	if c.done {
+		return
+	}
+	newly := c.board.markAllLost()
+	for _, p := range newly {
+		if p.inFlite {
+			p.inFlite = false
+			c.inflight--
+		}
+		c.lostTotal++
+	}
+	c.rtoBackoff++
+	c.state = cc.StateLoss
+	c.recoveryPoint = c.sndNxt
+	// The module snapshots ssthresh from the pre-collapse cwnd, then the
+	// transport collapses the window (tcp_enter_loss ordering).
+	c.ccMod.OnEvent(c, cc.EventEnterLoss)
+	c.cwnd = 1
+	c.armRTO()
+	c.trySend()
+}
+
+// Stats exposes the sender-side counters the experiments report.
+type ConnStats struct {
+	ID           int
+	BytesSent    units.DataSize
+	Retransmits  int64
+	Lost         int64
+	CEMarks      int64
+	Delivered    int64
+	Cwnd         int
+	SRTT         time.Duration
+	MinRTT       time.Duration
+	PacingRate   units.Bandwidth
+	MaxBufferOcc units.DataSize
+	RTTMean      time.Duration
+	RTTSamples   int64
+	State        cc.State
+	PacerStats   pacing.Stats
+}
+
+// Stats returns a snapshot of the connection's counters.
+func (c *Conn) Stats() ConnStats {
+	return ConnStats{
+		ID:           c.id,
+		BytesSent:    units.DataSize(c.appSent),
+		Retransmits:  c.retransTotal,
+		Lost:         c.lostTotal,
+		CEMarks:      c.ceTotal,
+		Delivered:    c.delivered,
+		Cwnd:         c.cwnd,
+		SRTT:         c.srtt,
+		MinRTT:       c.MinRTT(),
+		PacingRate:   c.pacingRate,
+		MaxBufferOcc: c.maxBufOcc,
+		RTTMean:      time.Duration(c.rttSample.Mean()),
+		RTTSamples:   c.rttSample.N(),
+		State:        c.state,
+		PacerStats:   c.pacer.Stats(),
+	}
+}
+
+// String identifies the connection for debug output.
+func (c *Conn) String() string {
+	return fmt.Sprintf("conn%d[%s cwnd=%d inflight=%d]", c.id, c.ccMod.Name(), c.cwnd, c.inflight)
+}

@@ -1,0 +1,192 @@
+package tcp
+
+import (
+	"sort"
+	"time"
+
+	"mobbr/internal/netem"
+	"mobbr/internal/seg"
+	"mobbr/internal/sim"
+	"mobbr/internal/units"
+)
+
+// GRO parameters for the server's NIC: arriving in-order segments are
+// coalesced until the stream pauses or the bundle reaches the GSO limit,
+// and one ACK covers the whole bundle — standard desktop receive behaviour.
+// Aggregated ACKs are what let the unpaced sender burst whole windows at
+// once, which is how disabling pacing congests the network (§5.2.3).
+const (
+	groFlushGap = 90 * time.Microsecond
+	groMaxBytes = 64 * units.KB
+)
+
+// Receiver is the server side of one connection (the iPerf3 server's
+// desktop): it reassembles the byte stream, counts goodput, and generates
+// one ACK per GRO bundle in order — immediately on reordering or
+// duplicates — with SACK blocks. The server machine is fast and is not
+// charged to the phone's CPU model.
+type Receiver struct {
+	eng  *sim.Engine
+	path *netem.Path
+	conn *Conn
+	cfg  Config
+
+	rcvNxt int64
+	ooo    []seg.SackBlock // disjoint, sorted by Start
+
+	pendingBytes units.DataSize
+	ceSinceAck   int64
+	flush        *sim.Timer
+	lastPkt      *seg.Packet
+
+	goodBytes units.DataSize // in-order bytes delivered (goodput)
+	dupPkts   uint64
+	acksSent  uint64
+}
+
+// NewReceiver builds the receiving endpoint for conn.
+func NewReceiver(eng *sim.Engine, path *netem.Path, conn *Conn) *Receiver {
+	return &Receiver{eng: eng, path: path, conn: conn, cfg: conn.cfg}
+}
+
+// OnPacket processes one arriving data segment.
+func (r *Receiver) OnPacket(pkt *seg.Packet) {
+	r.lastPkt = pkt
+	if pkt.CE {
+		r.ceSinceAck++
+	}
+	switch {
+	case pkt.End() <= r.rcvNxt || r.covered(pkt):
+		// Duplicate (spurious retransmission): ACK immediately so the
+		// sender's scoreboard converges.
+		r.dupPkts++
+		r.sendAck(pkt)
+	case pkt.Seq <= r.rcvNxt:
+		// In-order (possibly overlapping the edge): advance and pull in
+		// any out-of-order data that is now contiguous.
+		if pkt.End() > r.rcvNxt {
+			r.goodBytes += units.DataSize(pkt.End() - r.rcvNxt)
+			r.rcvNxt = pkt.End()
+		}
+		r.mergeContiguous()
+		r.pendingBytes += pkt.Len
+		if len(r.ooo) > 0 || r.pendingBytes >= groMaxBytes {
+			r.sendAck(pkt)
+		} else {
+			r.armFlush()
+		}
+	default:
+		// Out of order: store and ACK immediately (dupack with SACK).
+		r.insertOOO(seg.SackBlock{Start: pkt.Seq, End: pkt.End()})
+		r.sendAck(pkt)
+	}
+}
+
+// covered reports whether the packet's range is already held out-of-order.
+func (r *Receiver) covered(pkt *seg.Packet) bool {
+	for _, b := range r.ooo {
+		if pkt.Seq >= b.Start && pkt.End() <= b.End {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Receiver) insertOOO(nb seg.SackBlock) {
+	r.ooo = append(r.ooo, nb)
+	sort.Slice(r.ooo, func(i, j int) bool { return r.ooo[i].Start < r.ooo[j].Start })
+	// Merge overlapping/adjacent blocks.
+	merged := r.ooo[:1]
+	for _, b := range r.ooo[1:] {
+		last := &merged[len(merged)-1]
+		if b.Start <= last.End {
+			if b.End > last.End {
+				last.End = b.End
+			}
+		} else {
+			merged = append(merged, b)
+		}
+	}
+	r.ooo = merged
+}
+
+// mergeContiguous absorbs out-of-order blocks that now start at or below
+// rcvNxt.
+func (r *Receiver) mergeContiguous() {
+	for len(r.ooo) > 0 && r.ooo[0].Start <= r.rcvNxt {
+		if r.ooo[0].End > r.rcvNxt {
+			r.goodBytes += units.DataSize(r.ooo[0].End - r.rcvNxt)
+			r.rcvNxt = r.ooo[0].End
+		}
+		r.ooo = r.ooo[1:]
+	}
+}
+
+// armFlush (re)schedules the GRO flush: the bundle is acknowledged once
+// the arrival stream pauses.
+func (r *Receiver) armFlush() {
+	if r.flush != nil {
+		r.flush.Stop()
+	}
+	r.flush = r.eng.Schedule(groFlushGap, func() {
+		if r.pendingBytes > 0 && r.lastPkt != nil {
+			r.sendAck(r.lastPkt)
+		}
+	})
+}
+
+// sendAck builds and returns an ACK echoing the triggering packet.
+func (r *Receiver) sendAck(trigger *seg.Packet) {
+	r.pendingBytes = 0
+	if r.flush != nil {
+		r.flush.Stop()
+	}
+	a := &seg.Ack{
+		Flow:        trigger.Flow,
+		CumAck:      r.rcvNxt,
+		EchoSentAt:  trigger.SentAt,
+		EchoRetx:    trigger.Retx,
+		AckedPktEnd: trigger.End(),
+		CECount:     r.ceSinceAck,
+	}
+	r.ceSinceAck = 0
+	// Report up to three SACK blocks, newest-covering first.
+	if len(r.ooo) > 0 {
+		n := len(r.ooo)
+		for i := n - 1; i >= 0 && len(a.Sacks) < 3; i-- {
+			a.Sacks = append(a.Sacks, r.ooo[i])
+		}
+	}
+	r.acksSent++
+	r.path.ReturnAck(a, r.conn.OnAckArrival)
+}
+
+// GoodBytes returns the in-order bytes delivered so far.
+func (r *Receiver) GoodBytes() units.DataSize { return r.goodBytes }
+
+// DupPackets returns how many duplicate segments arrived.
+func (r *Receiver) DupPackets() uint64 { return r.dupPkts }
+
+// AcksSent returns how many ACKs the receiver generated.
+func (r *Receiver) AcksSent() uint64 { return r.acksSent }
+
+// Demux routes packets arriving at the server to per-connection receivers.
+type Demux struct {
+	rx map[int]*Receiver
+}
+
+// NewDemux returns an empty demultiplexer; install it with path.SetReceiver.
+func NewDemux() *Demux { return &Demux{rx: make(map[int]*Receiver)} }
+
+// Add registers a receiver for its connection's flow id.
+func (d *Demux) Add(r *Receiver) { d.rx[r.conn.id] = r }
+
+// Handle implements the path receiver callback.
+func (d *Demux) Handle(pkt *seg.Packet) {
+	if r, ok := d.rx[pkt.Flow]; ok {
+		r.OnPacket(pkt)
+	}
+}
+
+// Receiver returns the receiver for a flow id, or nil.
+func (d *Demux) Receiver(flow int) *Receiver { return d.rx[flow] }

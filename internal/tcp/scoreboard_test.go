@@ -1,0 +1,230 @@
+package tcp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mkEntry(seq int64, sentAt time.Duration) *pktInfo {
+	return &pktInfo{seq: seq, len: 1000, sentAt: sentAt, inFlite: true}
+}
+
+func TestScoreboardAddOrdering(t *testing.T) {
+	var s scoreboard
+	s.add(mkEntry(0, 0))
+	s.add(mkEntry(1000, 0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order add must panic")
+		}
+	}()
+	s.add(mkEntry(500, 0))
+}
+
+func TestPopAcked(t *testing.T) {
+	var s scoreboard
+	for i := int64(0); i < 10; i++ {
+		s.add(mkEntry(i*1000, 0))
+	}
+	got := s.popAcked(3500) // covers entries [0,1000) [1000,2000) [2000,3000)
+	if len(got) != 3 {
+		t.Fatalf("popped %d, want 3 (partial coverage keeps the 4th)", len(got))
+	}
+	if s.liveLen() != 7 {
+		t.Fatalf("live = %d, want 7", s.liveLen())
+	}
+	if s.at(0).seq != 3000 {
+		t.Fatalf("head seq = %d, want 3000", s.at(0).seq)
+	}
+}
+
+func TestPopAckedCompaction(t *testing.T) {
+	var s scoreboard
+	n := int64(3000)
+	for i := int64(0); i < n; i++ {
+		s.add(mkEntry(i*1000, 0))
+	}
+	s.popAcked((n - 10) * 1000)
+	if s.liveLen() != 10 {
+		t.Fatalf("live = %d, want 10", s.liveLen())
+	}
+	// Compaction must have shrunk the backing slice head.
+	if s.head > 1024 {
+		t.Errorf("head = %d after compaction threshold", s.head)
+	}
+	// Entries still correct.
+	if s.at(0).seq != (n-10)*1000 {
+		t.Errorf("head seq wrong after compaction: %d", s.at(0).seq)
+	}
+}
+
+func TestMarkSacked(t *testing.T) {
+	var s scoreboard
+	for i := int64(0); i < 5; i++ {
+		s.add(mkEntry(i*1000, 0))
+	}
+	newly := s.markSacked(2000, 4000)
+	if len(newly) != 2 {
+		t.Fatalf("sacked %d, want 2", len(newly))
+	}
+	// Re-marking the same range yields nothing new.
+	if again := s.markSacked(2000, 4000); len(again) != 0 {
+		t.Fatalf("re-sack produced %d new entries", len(again))
+	}
+	// Partial overlap does not mark a partially covered packet.
+	if partial := s.markSacked(4200, 4800); len(partial) != 0 {
+		t.Fatalf("partial coverage sacked %d entries", len(partial))
+	}
+}
+
+func TestDetectLossesRequiresDupThresh(t *testing.T) {
+	var s scoreboard
+	for i := int64(0); i < 6; i++ {
+		s.add(mkEntry(i*1000, time.Duration(i)*time.Millisecond))
+	}
+	// SACK the top two only: below dupthresh 3 → nothing lost.
+	s.markSacked(4000, 6000)
+	if lost := s.detectLosses(3, time.Millisecond); len(lost) != 0 {
+		t.Fatalf("lost %d below dupthresh", len(lost))
+	}
+	// Third SACK above: the unsacked entries below (sent ≥ reoWnd before
+	// the newest sacked) become lost.
+	s.markSacked(3000, 4000)
+	lost := s.detectLosses(3, time.Millisecond)
+	if len(lost) != 3 {
+		t.Fatalf("lost %d, want 3 (seqs 0,1000,2000)", len(lost))
+	}
+	for i, p := range lost {
+		if p.seq != int64(i)*1000 {
+			t.Errorf("lost[%d].seq = %d, want ascending order", i, p.seq)
+		}
+	}
+}
+
+func TestDetectLossesRACKGate(t *testing.T) {
+	var s scoreboard
+	// Old packet at t=0, three sacked packets also around t=0, but a
+	// freshly retransmitted packet at t=100ms must not be re-condemned
+	// by that stale evidence.
+	old := mkEntry(0, 0)
+	s.add(old)
+	fresh := mkEntry(1000, 100*time.Millisecond)
+	s.add(fresh)
+	for i := int64(2); i < 5; i++ {
+		e := mkEntry(i*1000, 10*time.Millisecond+time.Duration(i)*time.Microsecond)
+		s.add(e)
+	}
+	s.markSacked(2000, 5000)
+	lost := s.detectLosses(3, time.Millisecond)
+	if len(lost) != 1 || lost[0] != old {
+		t.Fatalf("RACK gate failed: lost %d entries", len(lost))
+	}
+	if fresh.lost {
+		t.Error("fresh retransmission condemned by stale SACK evidence")
+	}
+}
+
+func TestMarkAllLost(t *testing.T) {
+	var s scoreboard
+	for i := int64(0); i < 5; i++ {
+		s.add(mkEntry(i*1000, 0))
+	}
+	s.markSacked(1000, 2000)
+	lost := s.markAllLost()
+	if len(lost) != 4 {
+		t.Fatalf("marked %d, want 4 (sacked survives)", len(lost))
+	}
+	// Idempotent.
+	if again := s.markAllLost(); len(again) != 0 {
+		t.Fatalf("second markAllLost produced %d", len(again))
+	}
+}
+
+func TestLostPendingOrderAndLimit(t *testing.T) {
+	var s scoreboard
+	for i := int64(0); i < 6; i++ {
+		e := mkEntry(i*1000, 0)
+		e.lost = true
+		e.inFlite = false
+		s.add(e)
+	}
+	got := s.lostPending(3)
+	if len(got) != 3 {
+		t.Fatalf("pending = %d, want 3", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].seq <= got[i-1].seq {
+			t.Fatal("lostPending not in sequence order")
+		}
+	}
+	if s.firstLost() != got[0] {
+		t.Error("firstLost != first of lostPending")
+	}
+}
+
+// Property: popAcked never returns an entry whose end exceeds the ack, and
+// the remaining head is always the first uncovered entry.
+func TestPopAckedProperty(t *testing.T) {
+	f := func(nPkts uint8, ackK uint8) bool {
+		n := int64(nPkts%50) + 1
+		var s scoreboard
+		for i := int64(0); i < n; i++ {
+			s.add(mkEntry(i*1000, 0))
+		}
+		ack := int64(ackK) * 250 // arbitrary, possibly mid-packet
+		popped := s.popAcked(ack)
+		for _, p := range popped {
+			if p.end() > ack {
+				return false
+			}
+		}
+		if s.liveLen() > 0 && s.at(0).end() <= ack {
+			return false
+		}
+		return int64(len(popped))+int64(s.liveLen()) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after random sack/ack/loss operations, no entry is ever both
+// acked and lost, and detectLosses returns each entry at most once.
+func TestScoreboardStateMachineProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		var s scoreboard
+		n := int64(rng.Intn(40) + 5)
+		for i := int64(0); i < n; i++ {
+			s.add(mkEntry(i*1000, time.Duration(i)*time.Millisecond))
+		}
+		seenLost := map[int64]bool{}
+		for op := 0; op < 30; op++ {
+			switch rng.Intn(3) {
+			case 0:
+				a, b := rng.Int63n(n*1000), rng.Int63n(n*1000)
+				if a > b {
+					a, b = b, a
+				}
+				s.markSacked(a, b)
+			case 1:
+				s.popAcked(rng.Int63n(n * 1000))
+			case 2:
+				for _, p := range s.detectLosses(3, time.Millisecond) {
+					if seenLost[p.seq] {
+						t.Fatalf("entry %d reported lost twice", p.seq)
+					}
+					seenLost[p.seq] = true
+				}
+			}
+			for i := 0; i < s.liveLen(); i++ {
+				p := s.at(i)
+				if p.acked && p.lost {
+					t.Fatal("entry both acked and lost")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package trace records per-connection time series from a running
+// experiment — congestion window, pacing rate, smoothed RTT, inflight, and
+// the BBR state-machine mode — for debugging, verification, and plotting.
+// It is the simulation-side analogue of polling `ss -ti` during an iPerf
+// run.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mobbr/internal/cc/bbr"
+	"mobbr/internal/cc/bbrv2"
+	"mobbr/internal/sim"
+	"mobbr/internal/tcp"
+)
+
+// Sample is one observation of one connection.
+type Sample struct {
+	// At is the virtual time of the observation.
+	At time.Duration
+	// Conn is the flow id.
+	Conn int
+	// CwndPkts is the congestion window in packets.
+	CwndPkts int
+	// Inflight is packets in flight.
+	Inflight int
+	// PacingMbps is the pacing rate in Mbps (0 when unset).
+	PacingMbps float64
+	// SRTTms is the smoothed RTT in milliseconds.
+	SRTTms float64
+	// Mode is the BBR/BBRv2 state-machine mode ("" for other CCs).
+	Mode string
+}
+
+// Recorder samples a set of connections on a fixed period.
+type Recorder struct {
+	eng    *sim.Engine
+	conns  []*tcp.Conn
+	period time.Duration
+
+	samples []Sample
+}
+
+// New returns a recorder for conns sampling every period (default 50 ms).
+// Call Start to begin.
+func New(eng *sim.Engine, conns []*tcp.Conn, period time.Duration) *Recorder {
+	if period <= 0 {
+		period = 50 * time.Millisecond
+	}
+	return &Recorder{eng: eng, conns: conns, period: period}
+}
+
+// Start schedules periodic sampling.
+func (r *Recorder) Start() {
+	r.eng.Schedule(r.period, r.tick)
+}
+
+func (r *Recorder) tick() {
+	now := r.eng.Now()
+	for _, c := range r.conns {
+		st := c.Stats()
+		s := Sample{
+			At:         now,
+			Conn:       c.ID(),
+			CwndPkts:   st.Cwnd,
+			Inflight:   c.PacketsInFlight(),
+			PacingMbps: float64(st.PacingRate) / 1e6,
+			SRTTms:     float64(st.SRTT) / 1e6,
+			Mode:       ccMode(c),
+		}
+		r.samples = append(r.samples, s)
+	}
+	r.eng.Schedule(r.period, r.tick)
+}
+
+// ccMode extracts the state-machine mode from BBR-family modules.
+func ccMode(c *tcp.Conn) string {
+	switch m := c.CC().(type) {
+	case *bbr.BBR:
+		return m.Mode().String()
+	case *bbrv2.BBRv2:
+		return m.Mode().String() + "/" + m.CurrentPhase().String()
+	default:
+		return ""
+	}
+}
+
+// Samples returns all recorded samples in time order.
+func (r *Recorder) Samples() []Sample { return r.samples }
+
+// ConnSamples returns the samples of one connection, in time order.
+func (r *Recorder) ConnSamples(id int) []Sample {
+	var out []Sample
+	for _, s := range r.samples {
+		if s.Conn == id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Modes returns the distinct mode strings of one connection in first-seen
+// order — the observed state-machine trajectory.
+func (r *Recorder) Modes(id int) []string {
+	var out []string
+	seen := ""
+	for _, s := range r.ConnSamples(id) {
+		if s.Mode != "" && s.Mode != seen {
+			out = append(out, s.Mode)
+			seen = s.Mode
+		}
+	}
+	return out
+}
+
+// WriteCSV writes every sample as CSV (t_s, conn, cwnd, inflight,
+// pacing_mbps, srtt_ms, mode).
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "t_s,conn,cwnd,inflight,pacing_mbps,srtt_ms,mode"); err != nil {
+		return err
+	}
+	for _, s := range r.samples {
+		if _, err := fmt.Fprintf(w, "%.3f,%d,%d,%d,%.2f,%.3f,%s\n",
+			s.At.Seconds(), s.Conn, s.CwndPkts, s.Inflight,
+			s.PacingMbps, s.SRTTms, s.Mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}

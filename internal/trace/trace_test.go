@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mobbr/internal/cc/bbr"
+	"mobbr/internal/cc/cubic"
+	"mobbr/internal/cpumodel"
+	"mobbr/internal/device"
+	"mobbr/internal/iperf"
+	"mobbr/internal/netem"
+	"mobbr/internal/sim"
+	"mobbr/internal/tcp"
+)
+
+func TestBBRModeTrajectory(t *testing.T) {
+	eng := sim.New(1)
+	cpu := cpumodel.NewCPU(eng, cpumodel.DefaultCosts(), 2.8e9)
+	path := netem.EthernetLAN(eng, netem.TC{})
+	sess := iperf.New(eng, cpu, path, iperf.Config{
+		Conns: 1, Duration: 3 * time.Second, TCP: tcp.Config{}, CC: bbr.Factory(),
+	})
+	rec := New(eng, sess.Conns(), time.Millisecond)
+	rec.Start()
+	sess.Run()
+
+	modes := rec.Modes(0)
+	if len(modes) < 2 {
+		t.Fatalf("mode trajectory too short: %v", modes)
+	}
+	if modes[0] != "STARTUP" {
+		t.Errorf("first mode = %q, want STARTUP", modes[0])
+	}
+	sawProbeBW := false
+	for _, m := range modes {
+		if m == "PROBE_BW" {
+			sawProbeBW = true
+		}
+	}
+	if !sawProbeBW {
+		t.Errorf("never reached PROBE_BW: %v", modes)
+	}
+	// STARTUP must not recur after leaving (only PROBE_RTT may re-enter
+	// it, and only if the pipe was never filled).
+	left := false
+	for _, m := range modes {
+		if m != "STARTUP" {
+			left = true
+		} else if left {
+			t.Errorf("STARTUP recurred after full pipe: %v", modes)
+		}
+	}
+}
+
+func TestSamplesMonotoneAndComplete(t *testing.T) {
+	eng := sim.New(2)
+	cpu := cpumodel.NewCPU(eng, cpumodel.DefaultCosts(), 2.8e9)
+	path := netem.EthernetLAN(eng, netem.TC{})
+	sess := iperf.New(eng, cpu, path, iperf.Config{
+		Conns: 3, Duration: time.Second, TCP: tcp.Config{}, CC: cubic.Factory(),
+	})
+	rec := New(eng, sess.Conns(), 100*time.Millisecond)
+	rec.Start()
+	sess.Run()
+
+	all := rec.Samples()
+	if len(all) != 3*10 {
+		t.Fatalf("samples = %d, want 30 (3 conns × 10 ticks)", len(all))
+	}
+	var last time.Duration
+	for _, s := range all {
+		if s.At < last {
+			t.Fatal("samples out of time order")
+		}
+		last = s.At
+		if s.Mode != "" {
+			t.Errorf("cubic reported a BBR mode %q", s.Mode)
+		}
+		if s.CwndPkts <= 0 {
+			t.Errorf("non-positive cwnd sample")
+		}
+	}
+	if got := len(rec.ConnSamples(1)); got != 10 {
+		t.Errorf("conn 1 samples = %d, want 10", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	eng := sim.New(3)
+	cpu := cpumodel.NewCPU(eng, cpumodel.DefaultCosts(), 2.8e9)
+	path := netem.EthernetLAN(eng, netem.TC{})
+	sess := iperf.New(eng, cpu, path, iperf.Config{
+		Conns: 1, Duration: 500 * time.Millisecond, TCP: tcp.Config{}, CC: bbr.Factory(),
+	})
+	rec := New(eng, sess.Conns(), 100*time.Millisecond)
+	rec.Start()
+	sess.Run()
+
+	var buf strings.Builder
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(rec.Samples()) {
+		t.Fatalf("CSV lines = %d, want %d", len(lines), 1+len(rec.Samples()))
+	}
+	if !strings.HasPrefix(lines[0], "t_s,conn,") {
+		t.Errorf("bad header: %q", lines[0])
+	}
+	hasMode := strings.Contains(buf.String(), "STARTUP") ||
+		strings.Contains(buf.String(), "PROBE_BW") ||
+		strings.Contains(buf.String(), "DRAIN")
+	if !hasMode {
+		t.Errorf("CSV lacks BBR mode column content:\n%s", buf.String())
+	}
+}
+
+func TestDefaultPeriod(t *testing.T) {
+	eng := sim.New(4)
+	rec := New(eng, nil, 0)
+	if rec.period != 50*time.Millisecond {
+		t.Errorf("default period = %v, want 50ms", rec.period)
+	}
+}
+
+// Pixel-device smoke: tracing works against the full device stack too.
+func TestTraceOnDeviceStack(t *testing.T) {
+	eng := sim.New(5)
+	cpu, app := device.NewCPUs(eng, device.Pixel4, device.LowEnd)
+	path := netem.EthernetLAN(eng, netem.TC{})
+	sess := iperf.New(eng, cpu, path, iperf.Config{
+		Conns: 2, Duration: time.Second, TCP: tcp.Config{}, CC: bbr.Factory(), AppCPU: app,
+	})
+	rec := New(eng, sess.Conns(), 50*time.Millisecond)
+	rec.Start()
+	sess.Run()
+	if len(rec.Samples()) == 0 {
+		t.Fatal("no samples on device stack")
+	}
+}

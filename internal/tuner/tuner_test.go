@@ -1,0 +1,97 @@
+package tuner
+
+import (
+	"testing"
+	"time"
+
+	"mobbr/internal/core"
+	"mobbr/internal/device"
+)
+
+func lowEndSpec() core.Spec {
+	return core.Spec{CPU: device.LowEnd, CC: "bbr", Conns: 20, Network: core.Ethernet}
+}
+
+func fastOpts() Options {
+	return Options{Seeds: 1, Duration: 1500 * time.Millisecond}
+}
+
+func TestSweepFindsImprovement(t *testing.T) {
+	o := fastOpts()
+	o.Candidates = []float64{1, 5, 10}
+	res, err := Sweep(lowEndSpec(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 3 {
+		t.Fatalf("trials = %d, want 3", len(res.Trials))
+	}
+	if res.Baseline.Stride != 1 {
+		t.Fatalf("baseline stride = %v", res.Baseline.Stride)
+	}
+	// §6.2: on Low-End/20conns a larger stride must beat stock pacing.
+	if res.Best.Stride == 1 {
+		t.Errorf("best stride is 1×; expected an improvement (trials: %+v)", res.Trials)
+	}
+	if res.Improvement() <= 1.05 {
+		t.Errorf("improvement = %.2f, want > 1.05", res.Improvement())
+	}
+}
+
+func TestSweepAlwaysIncludesBaseline(t *testing.T) {
+	o := fastOpts()
+	o.Candidates = []float64{5, 10} // no 1× given
+	res, err := Sweep(lowEndSpec(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials[0].Stride != 1 {
+		t.Fatalf("first trial stride = %v, want injected 1×", res.Trials[0].Stride)
+	}
+}
+
+func TestRTTBudgetGuards(t *testing.T) {
+	o := fastOpts()
+	o.Candidates = []float64{1, 10}
+	// An absurdly tight budget disqualifies everything above baseline
+	// RTT, so the baseline must win.
+	o.RTTBudget = 0.0001
+	res, err := Sweep(lowEndSpec(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Stride != 1 {
+		t.Errorf("best stride = %v under a prohibitive RTT budget, want 1", res.Best.Stride)
+	}
+}
+
+func TestHillClimb(t *testing.T) {
+	res, err := HillClimb(lowEndSpec(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) < 3 {
+		t.Fatalf("hill climb only evaluated %d strides", len(res.Trials))
+	}
+	if res.Best.GoodputMbps < res.Baseline.GoodputMbps {
+		t.Errorf("hill climb regressed: best %.1f < baseline %.1f",
+			res.Best.GoodputMbps, res.Baseline.GoodputMbps)
+	}
+	// Trials must be sorted by stride for presentation.
+	for i := 1; i < len(res.Trials); i++ {
+		if res.Trials[i].Stride < res.Trials[i-1].Stride {
+			t.Fatalf("trials unsorted: %+v", res.Trials)
+		}
+	}
+}
+
+func TestEvaluateErrorPropagates(t *testing.T) {
+	spec := lowEndSpec()
+	spec.CC = "nope"
+	if _, err := Sweep(spec, fastOpts()); err == nil {
+		t.Fatal("expected error for unknown CC")
+	}
+	if _, err := HillClimb(spec, fastOpts()); err == nil {
+		t.Fatal("expected error for unknown CC")
+	}
+}

@@ -1,0 +1,184 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBandwidthString(t *testing.T) {
+	tests := []struct {
+		in   Bandwidth
+		want string
+	}{
+		{1 * Gbps, "1Gbps"},
+		{20 * Mbps, "20Mbps"},
+		{1500 * Kbps, "1.5Mbps"},
+		{9600, "9.6Kbps"},
+		{7, "7bps"},
+		{0, "0bps"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("Bandwidth(%d).String() = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseBandwidth(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Bandwidth
+		wantErr bool
+	}{
+		{"1Gbps", Gbps, false},
+		{"20Mbps", 20 * Mbps, false},
+		{" 2.5Mbps ", 2500 * Kbps, false},
+		{"9600bps", 9600, false},
+		{"100", 0, true},
+		{"-1Mbps", 0, true},
+		{"xMbps", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseBandwidth(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseBandwidth(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if !tt.wantErr && got != tt.want {
+			t.Errorf("ParseBandwidth(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseBandwidthRoundTrip(t *testing.T) {
+	f := func(mbit uint16) bool {
+		// Keep below 1Gbps so String() stays in whole Mbps and the
+		// round trip is exact; larger values round to 2 decimals.
+		b := Bandwidth(mbit%1000) * Mbps
+		got, err := ParseBandwidth(b.String())
+		return err == nil && got == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeToSend(t *testing.T) {
+	tests := []struct {
+		rate Bandwidth
+		n    DataSize
+		want time.Duration
+	}{
+		{Gbps, 1250, 10 * time.Microsecond}, // 1250B = 10,000 bits at 1e9 bps
+		{10 * Mbps, 1250, time.Millisecond}, // 10,000 bits at 1e7 bps
+		{Mbps, 125000, time.Second},         // 1e6 bits at 1e6 bps
+		{Gbps, 0, 0},
+		{Gbps, -5, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.rate.TimeToSend(tt.n); got != tt.want {
+			t.Errorf("%v.TimeToSend(%d) = %v, want %v", tt.rate, tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestTimeToSendPanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero bandwidth")
+		}
+	}()
+	Bandwidth(0).TimeToSend(100)
+}
+
+func TestBytesIn(t *testing.T) {
+	if got := (10 * Mbps).BytesIn(time.Second); got != 1250000 {
+		t.Errorf("10Mbps over 1s = %d bytes, want 1250000", got)
+	}
+	if got := Gbps.BytesIn(0); got != 0 {
+		t.Errorf("zero duration should carry zero bytes, got %d", got)
+	}
+	if got := Bandwidth(0).BytesIn(time.Second); got != 0 {
+		t.Errorf("zero rate should carry zero bytes, got %d", got)
+	}
+}
+
+func TestBytesInTimeToSendInverse(t *testing.T) {
+	f := func(mbit uint8, kb uint8) bool {
+		rate := Bandwidth(int64(mbit)+1) * Mbps
+		n := DataSize(int64(kb)+1) * KB
+		d := rate.TimeToSend(n)
+		back := rate.BytesIn(d)
+		// Allow one byte of rounding slack.
+		diff := back - n
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandwidthFromBytes(t *testing.T) {
+	if got := BandwidthFromBytes(1250000, time.Second); got != 10*Mbps {
+		t.Errorf("BandwidthFromBytes = %v, want 10Mbps", got)
+	}
+	if got := BandwidthFromBytes(100, 0); got != 0 {
+		t.Errorf("zero duration should give zero bandwidth, got %v", got)
+	}
+}
+
+func TestDataSizeString(t *testing.T) {
+	tests := []struct {
+		in   DataSize
+		want string
+	}{
+		{512, "512B"},
+		{2 * KB, "2KB"},
+		{1536, "1.5KB"},
+		{3 * MB, "3MB"},
+		{GB, "1GB"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("DataSize(%d).String() = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestKilobits(t *testing.T) {
+	// 4012 bytes = 32.096 kilobits, matching the paper's Table 2 1x row.
+	if got := DataSize(4012).Kilobits(); got < 32.0 || got > 32.2 {
+		t.Errorf("4012 bytes = %.3f Kb, want ~32.1", got)
+	}
+}
+
+func TestParseDataSize(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    DataSize
+		wantErr bool
+	}{
+		{"256KB", 256 * KB, false},
+		{"1MB", MB, false},
+		{"512B", 512, false},
+		{" 2GB ", 2 * GB, false},
+		{"1.5KB", 1536, false},
+		{"12", 0, true},
+		{"-1MB", 0, true},
+		{"xKB", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseDataSize(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseDataSize(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if !tt.wantErr && got != tt.want {
+			t.Errorf("ParseDataSize(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
