@@ -220,6 +220,34 @@ func BenchmarkHardwarePacing(b *testing.B) { benchExperiment(b, repro.HardwarePa
 // reappears once the uplink outruns the CPU.
 func BenchmarkFiveG(b *testing.B) { benchExperiment(b, repro.FiveG()) }
 
+// BenchmarkRecovery runs the fault-recovery experiment: goodput recovery
+// after a 2 s blackout and an LTE→WiFi handover, with the invariant checker
+// armed. The recovery spec carries its own duration (the fault timeline is
+// fixed), so it does not go through runSpec's duration override.
+func BenchmarkRecovery(b *testing.B) {
+	for _, p := range repro.Recovery().Points {
+		p := p
+		b.Run(p.Label, func(b *testing.B) {
+			var res *core.Result
+			spec := p.Spec
+			for i := 0; i < b.N; i++ {
+				spec.Seed = int64(i + 1)
+				var err error
+				res, err = core.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			_, rec, ok := p.RecoveryTime(res.Report.Intervals)
+			if !ok {
+				b.Fatalf("%s: never regained 90%% of pre-fault goodput", p.Label)
+			}
+			b.ReportMetric(float64(rec)/1e6, "recovery-ms")
+			b.ReportMetric(float64(res.Report.Goodput)/1e6, "goodput-Mbps")
+		})
+	}
+}
+
 // BenchmarkECN contrasts ECN marking with drop-only AQM (extension): same
 // goodput, far fewer retransmissions.
 func BenchmarkECN(b *testing.B) {

@@ -25,15 +25,34 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
+	rec := repro.Recovery()
 	if *list {
 		for _, e := range repro.All() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
+		fmt.Printf("%-10s %s\n", rec.ID, rec.Title)
 		return
 	}
 
+	// The recovery experiment has its own runner: its metric comes from the
+	// interval series and its duration is fixed by the fault timeline.
+	runRecovery := func() {
+		rows, err := repro.RunRecovery(rec, *seeds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		repro.PrintRecovery(os.Stdout, rec, rows)
+	}
+
+	start := time.Now()
 	exps := repro.All()
 	if *exp != "" {
+		if *exp == rec.ID {
+			runRecovery()
+			fmt.Printf("(wall time %v)\n", time.Since(start).Round(time.Millisecond))
+			return
+		}
 		e, err := repro.ByID(*exp)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -42,7 +61,6 @@ func main() {
 		exps = []repro.Experiment{e}
 	}
 
-	start := time.Now()
 	for _, e := range exps {
 		rows, err := repro.RunExperiment(e, *dur, *seeds)
 		if err != nil {
@@ -50,6 +68,9 @@ func main() {
 			os.Exit(1)
 		}
 		repro.Print(os.Stdout, e, rows)
+	}
+	if *exp == "" {
+		runRecovery()
 	}
 	fmt.Printf("(wall time %v)\n", time.Since(start).Round(time.Millisecond))
 }

@@ -8,6 +8,7 @@
 //	mobbr -cc bbr -config default -conns 20 -stride 5
 //	mobbr -cc bbr -pacing=off -conns 20
 //	mobbr -cc bbr -fixed-rate 140Mbps -fixed-cwnd 70
+//	mobbr -exp recovery -seeds 3
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"mobbr/internal/core"
 	"mobbr/internal/device"
 	"mobbr/internal/netem"
+	"mobbr/internal/repro"
 	"mobbr/internal/units"
 )
 
@@ -46,8 +48,14 @@ func main() {
 		tcQueue = flag.Int("tc-queue", 0, "router queue depth in packets")
 		tcECN   = flag.Int("tc-ecn", 0, "router ECN marking threshold in packets (0 = off)")
 		seed    = flag.Int64("seed", 1, "base RNG seed")
+		expName = flag.String("exp", "", "run a named repro experiment instead (e.g. recovery; see mobbr-repro -list)")
 	)
 	flag.Parse()
+
+	if *expName != "" {
+		runExperiment(*expName, *dur, *seeds)
+		return
+	}
 
 	spec := core.Spec{
 		CC:             *ccName,
@@ -191,6 +199,27 @@ func main() {
 		}
 		fmt.Printf("  per-conn     %v … %v\n", min, max)
 	}
+}
+
+// runExperiment runs one repro experiment by id, like mobbr-repro -exp.
+func runExperiment(id string, dur time.Duration, seeds int) {
+	if rec := repro.Recovery(); strings.EqualFold(id, rec.ID) {
+		rows, err := repro.RunRecovery(rec, seeds)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		repro.PrintRecovery(os.Stdout, rec, rows)
+		return
+	}
+	e, err := repro.ByID(id)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rows, err := repro.RunExperiment(e, dur, seeds)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	repro.Print(os.Stdout, e, rows)
 }
 
 func fatalf(format string, args ...any) {

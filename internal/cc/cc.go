@@ -55,6 +55,11 @@ const (
 	// EventECE fires at most once per RTT when the receiver echoes ECN
 	// congestion-experienced marks (classic-ECN response point).
 	EventECE
+	// EventSpuriousRTO fires when F-RTO-style detection concludes the
+	// last timeout was spurious (the original transmission was ACKed);
+	// the transport has already restored cwnd/ssthresh to their
+	// pre-timeout values. Modules may additionally undo model state.
+	EventSpuriousRTO
 )
 
 // Conn is the view of the connection a congestion-control module sees — the

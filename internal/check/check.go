@@ -1,0 +1,234 @@
+// Package check is the simulation's opt-in invariant checker: a periodic
+// auditor that walks every connection's bookkeeping and the engine clock,
+// and turns accounting bugs into structured violation errors instead of
+// silently corrupt results. It verifies conservation (every segment ever
+// sent is delivered, lost-pending or in flight — in packets and bytes),
+// sequence monotonicity, congestion-window and pacing-rate sanity, and
+// event-clock monotonicity.
+//
+// The checker is wired into core.Run behind Spec.Check and into tests; it
+// reports, never panics.
+package check
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mobbr/internal/sim"
+	"mobbr/internal/tcp"
+	"mobbr/internal/units"
+)
+
+// maxPacingRate is the sanity ceiling for a connection's pacing rate; no
+// modelled mobile path is within two orders of magnitude of 1 Tbps.
+const maxPacingRate = 1000 * units.Gbps
+
+// maxViolations bounds how many violations one run collects before the
+// checker stops auditing (the first few are the informative ones).
+const maxViolations = 16
+
+// DefaultInterval is how often the periodic audit runs in virtual time.
+const DefaultInterval = 50 * time.Millisecond
+
+// Violation is one failed invariant with enough context to debug it.
+type Violation struct {
+	// Rule names the invariant, e.g. "conservation/packets".
+	Rule string
+	// At is the virtual time of the audit that caught it.
+	At time.Duration
+	// Conn is the connection id, or -1 for sim-wide invariants.
+	Conn int
+	// Detail is the human-readable expectation vs observation.
+	Detail string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	who := "sim"
+	if v.Conn >= 0 {
+		who = fmt.Sprintf("conn %d", v.Conn)
+	}
+	return fmt.Sprintf("invariant %q violated at %v on %s: %s", v.Rule, v.At, who, v.Detail)
+}
+
+// Error aggregates a run's violations with its run context (experiment,
+// seed, congestion control — whatever the caller labels the run with).
+type Error struct {
+	Context    string
+	Violations []*Violation
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "invariant check failed (%s): %d violation(s)", e.Context, len(e.Violations))
+	for i, v := range e.Violations {
+		if i >= 4 {
+			fmt.Fprintf(&b, "; … %d more", len(e.Violations)-i)
+			break
+		}
+		b.WriteString("; ")
+		b.WriteString(v.Error())
+	}
+	return b.String()
+}
+
+// Auditable is what the checker watches — anything that can produce a
+// tcp.Audit bookkeeping snapshot (in practice *tcp.Conn).
+type Auditable interface {
+	Audit() tcp.Audit
+}
+
+// prev is the per-connection monotonic watermark from the last audit.
+type prev struct {
+	sndUna    int64
+	delivered int64
+	segsSent  int64
+}
+
+// Checker audits a set of connections against the sim-wide invariants.
+type Checker struct {
+	eng      *sim.Engine
+	ctx      string
+	interval time.Duration
+
+	conns   []Auditable
+	prevs   map[int]prev
+	lastNow time.Duration
+	started bool
+
+	violations []*Violation
+}
+
+// New creates a checker for one run. ctx labels the run in error output
+// (e.g. "exp=recovery cc=bbr seed=1"). interval <= 0 uses DefaultInterval.
+func New(eng *sim.Engine, ctx string, interval time.Duration) *Checker {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	return &Checker{
+		eng:      eng,
+		ctx:      ctx,
+		interval: interval,
+		prevs:    make(map[int]prev),
+		lastNow:  -1,
+	}
+}
+
+// Watch adds a connection to the audit set.
+func (k *Checker) Watch(c Auditable) { k.conns = append(k.conns, c) }
+
+// Start arms the periodic audit on the engine clock.
+func (k *Checker) Start() {
+	if k.started {
+		return
+	}
+	k.started = true
+	k.eng.Schedule(k.interval, k.tick)
+}
+
+func (k *Checker) tick() {
+	k.CheckNow()
+	if len(k.violations) < maxViolations {
+		k.eng.Schedule(k.interval, k.tick)
+	}
+}
+
+// report records a violation unless the cap is reached.
+func (k *Checker) report(rule string, conn int, format string, args ...any) {
+	if len(k.violations) >= maxViolations {
+		return
+	}
+	k.violations = append(k.violations, &Violation{
+		Rule:   rule,
+		At:     k.eng.Now(),
+		Conn:   conn,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// CheckNow runs one audit pass immediately.
+func (k *Checker) CheckNow() {
+	if len(k.violations) >= maxViolations {
+		return
+	}
+	now := k.eng.Now()
+	if now < k.lastNow {
+		k.report("clock/monotonic", -1, "engine clock went backwards: %v after %v", now, k.lastNow)
+	}
+	k.lastNow = now
+	for _, c := range k.conns {
+		k.auditConn(c.Audit())
+	}
+}
+
+// auditConn applies the per-connection invariants to one snapshot.
+func (k *Checker) auditConn(a tcp.Audit) {
+	// Sequence space sanity.
+	if a.SndUna < 0 || a.SndNxt < a.SndUna {
+		k.report("sequence/order", a.ID, "sndNxt %d < sndUna %d", a.SndNxt, a.SndUna)
+	}
+
+	// Conservation, packets: every new-data segment ever created is
+	// exactly one of delivered, in flight, or lost-awaiting-retransmit.
+	if got := a.Delivered + int64(a.BoardInflight) + int64(a.BoardLostPending); got != a.SegsSent {
+		k.report("conservation/packets", a.ID,
+			"segsSent %d != delivered %d + inflight %d + lostPending %d (= %d)",
+			a.SegsSent, a.Delivered, a.BoardInflight, a.BoardLostPending, got)
+	}
+
+	// Conservation, bytes: the live scoreboard spans exactly the unacked
+	// sequence range.
+	if want := a.SndNxt - a.SndUna; a.LiveBytes != want {
+		k.report("conservation/bytes", a.ID,
+			"live scoreboard bytes %d != sndNxt-sndUna %d", a.LiveBytes, want)
+	}
+
+	// Counter cross-check: the transport's inflight counter must agree
+	// with the scoreboard walk.
+	if a.Inflight != a.BoardInflight {
+		k.report("inflight/counter", a.ID,
+			"inflight counter %d != scoreboard walk %d", a.Inflight, a.BoardInflight)
+	}
+	if a.Inflight < 0 {
+		k.report("inflight/negative", a.ID, "inflight counter is %d", a.Inflight)
+	}
+
+	// Monotonic counters.
+	p, seen := k.prevs[a.ID]
+	if seen {
+		if a.SndUna < p.sndUna {
+			k.report("sequence/una-monotonic", a.ID, "sndUna %d < previous %d", a.SndUna, p.sndUna)
+		}
+		if a.Delivered < p.delivered {
+			k.report("delivered/monotonic", a.ID, "delivered %d < previous %d", a.Delivered, p.delivered)
+		}
+		if a.SegsSent < p.segsSent {
+			k.report("segs-sent/monotonic", a.ID, "segsSent %d < previous %d", a.SegsSent, p.segsSent)
+		}
+	}
+	k.prevs[a.ID] = prev{sndUna: a.SndUna, delivered: a.Delivered, segsSent: a.SegsSent}
+
+	// Window and rate sanity.
+	if a.Cwnd < 1 || (a.MaxCwnd > 0 && a.Cwnd > a.MaxCwnd) {
+		k.report("cwnd/bounds", a.ID, "cwnd %d outside [1, %d]", a.Cwnd, a.MaxCwnd)
+	}
+	if a.Ssthresh < 2 {
+		k.report("ssthresh/bounds", a.ID, "ssthresh %d < 2", a.Ssthresh)
+	}
+	if a.PacingRate < 0 || a.PacingRate > maxPacingRate {
+		k.report("pacing/bounds", a.ID, "pacing rate %v outside [0, %v]", a.PacingRate, maxPacingRate)
+	}
+}
+
+// Violations returns what has been caught so far.
+func (k *Checker) Violations() []*Violation { return k.violations }
+
+// Err returns nil when every audit passed, or the aggregated *Error.
+func (k *Checker) Err() error {
+	if len(k.violations) == 0 {
+		return nil
+	}
+	return &Error{Context: k.ctx, Violations: k.violations}
+}

@@ -18,7 +18,9 @@ import (
 	"mobbr/internal/cc/bbrv2"
 	"mobbr/internal/cc/cubic"
 	"mobbr/internal/cc/reno"
+	"mobbr/internal/check"
 	"mobbr/internal/device"
+	"mobbr/internal/faults"
 	"mobbr/internal/iperf"
 	"mobbr/internal/mastermod"
 	"mobbr/internal/netem"
@@ -103,6 +105,27 @@ type Spec struct {
 	SndBuf units.DataSize
 	// Seed drives all randomness; runs are fully deterministic per seed.
 	Seed int64
+	// Faults is the fault-injection schedule applied to the path while
+	// the run executes: blackouts, handovers, rate ramps, delay spikes,
+	// burst loss. Schedule.Hop indexes the chosen network's hops (0 is
+	// the hop at the sender — devnic, air or radio).
+	Faults faults.Schedule
+	// Check arms the sim-wide invariant checker (internal/check): every
+	// connection's bookkeeping is audited throughout the run and Run
+	// returns a structured error when an invariant is violated.
+	Check bool
+	// MaxEvents bounds the simulator events one run may process
+	// (0 = default 200M). Exceeding it fails the run with a budget error
+	// naming the last-scheduled event time.
+	MaxEvents uint64
+	// MaxWallClock bounds the real time one run may take (0 = default
+	// 2 minutes; negative = unbounded).
+	MaxWallClock time.Duration
+
+	// corruptAt is a test-only hook: at this virtual time connection 0's
+	// inflight counter is deliberately skewed, to prove the checker turns
+	// real accounting corruption into an error instead of a panic.
+	corruptAt time.Duration
 }
 
 func (s Spec) withDefaults() Spec {
@@ -118,7 +141,64 @@ func (s Spec) withDefaults() Spec {
 	if s.Seed == 0 {
 		s.Seed = 1
 	}
+	if s.MaxEvents == 0 {
+		s.MaxEvents = 200_000_000
+	}
+	if s.MaxWallClock == 0 {
+		s.MaxWallClock = 2 * time.Minute
+	}
 	return s
+}
+
+// Validate rejects malformed specs with a descriptive error before any
+// simulation state is built. Run calls it on the defaulted spec; callers
+// can use it directly for early feedback.
+func (s Spec) Validate() error {
+	s = s.withDefaults()
+	if err := s.Device.Valid(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := s.CPU.Valid(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	for _, name := range strings.Split(s.CC, ",") {
+		if _, ok := Factories()[strings.TrimSpace(name)]; !ok {
+			return fmt.Errorf("core: unknown congestion control %q", name)
+		}
+	}
+	switch s.Network {
+	case Ethernet, WiFi, Cellular, Cellular5G:
+	default:
+		return fmt.Errorf("core: unknown network %d", int(s.Network))
+	}
+	if s.Warmup < 0 {
+		return fmt.Errorf("core: negative warmup %v", s.Warmup)
+	}
+	if s.Warmup >= s.Duration {
+		return fmt.Errorf("core: warmup %v must be shorter than duration %v", s.Warmup, s.Duration)
+	}
+	if s.Interval < 0 {
+		return fmt.Errorf("core: negative interval %v", s.Interval)
+	}
+	if s.Stride < 0 {
+		return fmt.Errorf("core: negative pacing stride %v", s.Stride)
+	}
+	if s.FixedCwnd < 0 {
+		return fmt.Errorf("core: negative fixed cwnd %d", s.FixedCwnd)
+	}
+	if s.FixedPacingRate < 0 {
+		return fmt.Errorf("core: negative fixed pacing rate %v", s.FixedPacingRate)
+	}
+	if s.SndBuf < 0 {
+		return fmt.Errorf("core: negative send buffer %v", s.SndBuf)
+	}
+	if err := s.TC.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := s.Faults.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
 }
 
 // String summarizes the spec for reports.
@@ -142,9 +222,14 @@ type Result struct {
 	Report *iperf.Report
 }
 
-// Run executes one experiment.
+// Run executes one experiment. It validates the spec, enforces the event
+// and wall-clock budgets, and — when spec.Check is set — fails with a
+// structured invariant-violation error instead of returning corrupt data.
 func Run(spec Spec) (*Result, error) {
 	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	names := strings.Split(spec.CC, ",")
 	factories := make([]cc.Factory, len(names))
 	for i, name := range names {
@@ -187,22 +272,40 @@ func Run(spec Spec) (*Result, error) {
 	}
 
 	eng := sim.New(spec.Seed)
+	wall := spec.MaxWallClock
+	if wall < 0 {
+		wall = 0
+	}
+	eng.SetLimits(sim.Limits{MaxEvents: spec.MaxEvents, WallClock: wall})
 	cpu, appCPU := device.NewCPUs(eng, spec.Device, spec.CPU)
 
-	var path *netem.Path
+	var (
+		path *netem.Path
+		err  error
+	)
 	switch spec.Network {
 	case Ethernet:
-		path = netem.EthernetLAN(eng, spec.TC)
+		path, err = netem.EthernetLAN(eng, spec.TC)
 	case WiFi:
 		var mod *netem.WiFiModulator
-		path, mod = netem.WiFiLAN(eng, spec.TC)
-		mod.Start()
+		path, mod, err = netem.WiFiLAN(eng, spec.TC)
+		if err == nil {
+			mod.Start()
+		}
 	case Cellular:
-		path = netem.CellularLTE(eng, spec.TC)
+		path, err = netem.CellularLTE(eng, spec.TC)
 	case Cellular5G:
-		path = netem.Cellular5G(eng, spec.TC)
+		path, err = netem.Cellular5G(eng, spec.TC)
 	default:
 		return nil, fmt.Errorf("core: unknown network %d", spec.Network)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if !spec.Faults.Empty() {
+		if err := spec.Faults.Install(eng, path); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 	}
 
 	cfg := tcp.Config{PacingOverride: spec.PacingOverride, SndBuf: spec.SndBuf}
@@ -223,8 +326,31 @@ func Run(spec Spec) (*Result, error) {
 	} else {
 		icfg.CCMix = factories
 	}
-	sess := iperf.New(eng, cpu, path, icfg)
+	sess, err := iperf.New(eng, cpu, path, icfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	var chk *check.Checker
+	if spec.Check {
+		chk = check.New(eng, fmt.Sprintf("%s seed=%d", spec, spec.Seed), 0)
+		for _, c := range sess.Conns() {
+			chk.Watch(c)
+		}
+		chk.Start()
+	}
+	if spec.corruptAt > 0 {
+		eng.Schedule(spec.corruptAt, func() { sess.Conns()[0].CorruptInflightForTest(3) })
+	}
 	report := sess.Run()
+	if lerr := eng.LimitErr(); lerr != nil {
+		return nil, fmt.Errorf("core: %s: %w", spec, lerr)
+	}
+	if chk != nil {
+		chk.CheckNow()
+		if cerr := chk.Err(); cerr != nil {
+			return nil, cerr
+		}
+	}
 	return &Result{Spec: spec, Report: report}, nil
 }
 

@@ -70,6 +70,25 @@ func (c Config) String() string {
 // Configs lists all four configurations in the paper's order.
 func Configs() []Config { return []Config{LowEnd, MidEnd, HighEnd, Default} }
 
+// Valid reports whether the model is a known phone. Callers validate specs
+// with this before Lookup, whose panic is then a programmer error.
+func (m Model) Valid() error {
+	switch m {
+	case Pixel4, Pixel6:
+		return nil
+	}
+	return fmt.Errorf("device: unknown model %d", int(m))
+}
+
+// Valid reports whether the configuration is one of Table 1's.
+func (c Config) Valid() error {
+	switch c {
+	case LowEnd, MidEnd, HighEnd, Default:
+		return nil
+	}
+	return fmt.Errorf("device: unknown CPU configuration %d", int(c))
+}
+
 // Spec holds a phone's CPU description.
 type Spec struct {
 	Model Model

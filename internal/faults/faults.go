@@ -1,0 +1,294 @@
+// Package faults is the fault-injection and mobility layer: a Schedule of
+// timed impairment events applied to a live netem path while the simulation
+// runs. It models what a phone actually experiences in the field — link
+// blackouts (elevators, tunnels), LTE→WiFi handovers, signal fades, delay
+// spikes from radio-state promotions, and bursty (Gilbert–Elliott) loss —
+// all driven off the sim.Engine clock and RNG, so every fault sequence is
+// reproducible per seed.
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"mobbr/internal/netem"
+	"mobbr/internal/sim"
+	"mobbr/internal/units"
+)
+
+// Event is one timed impairment. Implementations validate their parameters
+// and install themselves onto a pipe via engine-scheduled callbacks.
+type Event interface {
+	// Validate rejects nonsensical parameters.
+	Validate() error
+	// install arms the event's engine callbacks against the target pipe.
+	install(eng *sim.Engine, pipe *netem.Pipe)
+	// String describes the event for logs and error messages.
+	String() string
+}
+
+// Blackout pauses the link completely for Duration starting at Start: no
+// packet is serialized or delivered, and queued packets are held (an
+// elevator ride, a tunnel, the dead gap of a hard handover).
+type Blackout struct {
+	Start    time.Duration
+	Duration time.Duration
+}
+
+// Validate implements Event.
+func (b Blackout) Validate() error {
+	if b.Start < 0 {
+		return fmt.Errorf("faults: blackout start %v is negative", b.Start)
+	}
+	if b.Duration <= 0 {
+		return fmt.Errorf("faults: blackout duration %v must be positive", b.Duration)
+	}
+	return nil
+}
+
+func (b Blackout) install(eng *sim.Engine, pipe *netem.Pipe) {
+	eng.Schedule(b.Start, pipe.Pause)
+	eng.Schedule(b.Start+b.Duration, pipe.Resume)
+}
+
+// String implements Event.
+func (b Blackout) String() string {
+	return fmt.Sprintf("blackout@%v for %v", b.Start, b.Duration)
+}
+
+// RateStep sets the link rate to Rate at time At — an abrupt capacity
+// change (cell load change, carrier aggregation kicking in).
+type RateStep struct {
+	At   time.Duration
+	Rate units.Bandwidth
+}
+
+// Validate implements Event.
+func (r RateStep) Validate() error {
+	if r.At < 0 {
+		return fmt.Errorf("faults: rate step at %v is negative", r.At)
+	}
+	if r.Rate <= 0 {
+		return fmt.Errorf("faults: rate step to %v must be positive (use Blackout for an outage)", r.Rate)
+	}
+	return nil
+}
+
+func (r RateStep) install(eng *sim.Engine, pipe *netem.Pipe) {
+	eng.Schedule(r.At, func() { pipe.SetRate(r.Rate) })
+}
+
+// String implements Event.
+func (r RateStep) String() string {
+	return fmt.Sprintf("rate-step@%v to %v", r.At, r.Rate)
+}
+
+// RateRamp interpolates the link rate linearly from From to To over
+// [Start, Start+Duration] in Steps discrete steps — a signal fade as the
+// phone walks away from the access point, or recovery as it walks back.
+type RateRamp struct {
+	Start    time.Duration
+	Duration time.Duration
+	From, To units.Bandwidth
+	// Steps is the number of discrete rate changes (default 10).
+	Steps int
+}
+
+// Validate implements Event.
+func (r RateRamp) Validate() error {
+	if r.Start < 0 {
+		return fmt.Errorf("faults: rate ramp start %v is negative", r.Start)
+	}
+	if r.Duration <= 0 {
+		return fmt.Errorf("faults: rate ramp duration %v must be positive", r.Duration)
+	}
+	if r.From <= 0 || r.To <= 0 {
+		return fmt.Errorf("faults: rate ramp %v→%v must stay positive", r.From, r.To)
+	}
+	if r.Steps < 0 {
+		return fmt.Errorf("faults: rate ramp steps %d is negative", r.Steps)
+	}
+	return nil
+}
+
+func (r RateRamp) install(eng *sim.Engine, pipe *netem.Pipe) {
+	steps := r.Steps
+	if steps <= 0 {
+		steps = 10
+	}
+	for i := 1; i <= steps; i++ {
+		frac := float64(i) / float64(steps)
+		rate := r.From + units.Bandwidth(float64(r.To-r.From)*frac)
+		at := r.Start + time.Duration(float64(r.Duration)*frac)
+		eng.Schedule(at, func() { pipe.SetRate(rate) })
+	}
+}
+
+// String implements Event.
+func (r RateRamp) String() string {
+	return fmt.Sprintf("rate-ramp@%v %v→%v over %v", r.Start, r.From, r.To, r.Duration)
+}
+
+// DelaySpike adds Extra one-way delay for Duration starting at Start — a
+// radio-state promotion, a scheduling outage, deep paging. The pipe's
+// pre-spike delay is captured at onset and restored afterwards.
+type DelaySpike struct {
+	Start    time.Duration
+	Duration time.Duration
+	Extra    time.Duration
+}
+
+// Validate implements Event.
+func (d DelaySpike) Validate() error {
+	if d.Start < 0 {
+		return fmt.Errorf("faults: delay spike start %v is negative", d.Start)
+	}
+	if d.Duration <= 0 {
+		return fmt.Errorf("faults: delay spike duration %v must be positive", d.Duration)
+	}
+	if d.Extra <= 0 {
+		return fmt.Errorf("faults: delay spike extra %v must be positive", d.Extra)
+	}
+	return nil
+}
+
+func (d DelaySpike) install(eng *sim.Engine, pipe *netem.Pipe) {
+	eng.Schedule(d.Start, func() {
+		old := pipe.Delay()
+		pipe.SetDelay(old + d.Extra)
+		eng.Schedule(d.Duration, func() { pipe.SetDelay(old) })
+	})
+}
+
+// String implements Event.
+func (d DelaySpike) String() string {
+	return fmt.Sprintf("delay-spike@%v +%v for %v", d.Start, d.Extra, d.Duration)
+}
+
+// BurstLoss switches the pipe to Gilbert–Elliott two-state burst loss at
+// Start; Duration 0 keeps it for the rest of the run. State transitions
+// draw from the engine RNG, so the loss pattern is seed-reproducible.
+type BurstLoss struct {
+	Start    time.Duration
+	Duration time.Duration // 0 = until end of run
+	GE       netem.GEConfig
+}
+
+// Validate implements Event.
+func (b BurstLoss) Validate() error {
+	if b.Start < 0 {
+		return fmt.Errorf("faults: burst loss start %v is negative", b.Start)
+	}
+	if b.Duration < 0 {
+		return fmt.Errorf("faults: burst loss duration %v is negative", b.Duration)
+	}
+	return b.GE.Validate()
+}
+
+func (b BurstLoss) install(eng *sim.Engine, pipe *netem.Pipe) {
+	ge := b.GE
+	eng.Schedule(b.Start, func() { _ = pipe.SetGE(&ge) })
+	if b.Duration > 0 {
+		eng.Schedule(b.Start+b.Duration, func() { _ = pipe.SetGE(nil) })
+	}
+}
+
+// String implements Event.
+func (b BurstLoss) String() string {
+	return fmt.Sprintf("burst-loss@%v for %v", b.Start, b.Duration)
+}
+
+// Handover models a hard vertical handover (LTE→WiFi and back): the link
+// goes dark for Outage at At, and comes back up with the new network's
+// Rate and Delay. A zero Rate or Delay keeps the old value.
+type Handover struct {
+	At     time.Duration
+	Outage time.Duration
+	// Rate is the new link rate after the handover (0 = unchanged).
+	Rate units.Bandwidth
+	// Delay is the new one-way propagation delay (0 = unchanged).
+	Delay time.Duration
+}
+
+// Validate implements Event.
+func (h Handover) Validate() error {
+	if h.At < 0 {
+		return fmt.Errorf("faults: handover at %v is negative", h.At)
+	}
+	if h.Outage < 0 {
+		return fmt.Errorf("faults: handover outage %v is negative", h.Outage)
+	}
+	if h.Rate < 0 {
+		return fmt.Errorf("faults: handover rate %v is negative", h.Rate)
+	}
+	if h.Delay < 0 {
+		return fmt.Errorf("faults: handover delay %v is negative", h.Delay)
+	}
+	return nil
+}
+
+func (h Handover) install(eng *sim.Engine, pipe *netem.Pipe) {
+	eng.Schedule(h.At, func() {
+		pipe.Pause()
+		// The new link's parameters take effect while dark, so the first
+		// packet after resume already sees the new network.
+		if h.Rate > 0 {
+			pipe.SetRate(h.Rate)
+		}
+		if h.Delay > 0 {
+			_ = pipe.SetDelay(h.Delay)
+		}
+	})
+	eng.Schedule(h.At+h.Outage, pipe.Resume)
+}
+
+// String implements Event.
+func (h Handover) String() string {
+	return fmt.Sprintf("handover@%v outage %v → rate %v delay %v", h.At, h.Outage, h.Rate, h.Delay)
+}
+
+// Schedule is a set of impairment events applied to one hop of a path.
+type Schedule struct {
+	// Hop indexes the path hop the events apply to (0 is the hop next to
+	// the sender — the radio/air link in the wireless presets).
+	Hop int
+	// Events fire independently; overlapping events on the same knob are
+	// applied in schedule order at each instant.
+	Events []Event
+}
+
+// Validate checks the whole schedule.
+func (s Schedule) Validate() error {
+	if s.Hop < 0 {
+		return fmt.Errorf("faults: hop index %d is negative", s.Hop)
+	}
+	for i, ev := range s.Events {
+		if ev == nil {
+			return fmt.Errorf("faults: event %d is nil", i)
+		}
+		if err := ev.Validate(); err != nil {
+			return fmt.Errorf("event %d (%s): %w", i, ev, err)
+		}
+	}
+	return nil
+}
+
+// Empty reports whether the schedule has no events.
+func (s Schedule) Empty() bool { return len(s.Events) == 0 }
+
+// Install validates the schedule and arms every event on the target path.
+// Event times are relative to installation — install before starting the
+// run so they read as absolute virtual times.
+func (s Schedule) Install(eng *sim.Engine, path *netem.Path) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if s.Hop >= path.NumHops() {
+		return fmt.Errorf("faults: hop %d out of range (path has %d hops)", s.Hop, path.NumHops())
+	}
+	pipe := path.Hop(s.Hop)
+	for _, ev := range s.Events {
+		ev.install(eng, pipe)
+	}
+	return nil
+}

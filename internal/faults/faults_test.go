@@ -1,0 +1,284 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"mobbr/internal/netem"
+	"mobbr/internal/seg"
+	"mobbr/internal/sim"
+	"mobbr/internal/units"
+)
+
+// rig is a single-hop path with a delivery counter and a steady packet
+// source clocked every ms.
+type rig struct {
+	eng       *sim.Engine
+	path      *netem.Path
+	delivered []time.Duration
+}
+
+func newRig(t *testing.T, cfg netem.PipeConfig) *rig {
+	t.Helper()
+	eng := sim.New(42)
+	path, err := netem.NewPath(eng, netem.PathConfig{Hops: []netem.PipeConfig{cfg}})
+	if err != nil {
+		t.Fatalf("NewPath: %v", err)
+	}
+	r := &rig{eng: eng, path: path}
+	path.SetReceiver(func(p *seg.Packet) { r.delivered = append(r.delivered, eng.Now()) })
+	return r
+}
+
+// feed injects one packet every interval until end.
+func (r *rig) feed(interval, end time.Duration) {
+	var seq int64
+	var tick func()
+	tick = func() {
+		if r.eng.Now() >= end {
+			return
+		}
+		r.path.Send(&seg.Packet{Seq: seq, Len: 1000, SentAt: r.eng.Now()})
+		seq += 1000
+		r.eng.Schedule(interval, tick)
+	}
+	tick()
+}
+
+// deliveredIn counts deliveries inside [from, to).
+func (r *rig) deliveredIn(from, to time.Duration) int {
+	n := 0
+	for _, at := range r.delivered {
+		if at >= from && at < to {
+			n++
+		}
+	}
+	return n
+}
+
+func TestBlackoutStopsAndResumesDelivery(t *testing.T) {
+	r := newRig(t, netem.PipeConfig{Rate: 100 * units.Mbps, QueuePackets: 1000})
+	sched := Schedule{Events: []Event{Blackout{Start: 100 * time.Millisecond, Duration: 50 * time.Millisecond}}}
+	if err := sched.Install(r.eng, r.path); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	r.feed(time.Millisecond, 300*time.Millisecond)
+	r.eng.Run(400 * time.Millisecond)
+	if n := r.deliveredIn(0, 100*time.Millisecond); n == 0 {
+		t.Fatal("nothing delivered before the blackout")
+	}
+	// Allow for the one packet already in propagation at blackout onset.
+	if n := r.deliveredIn(101*time.Millisecond, 150*time.Millisecond); n > 1 {
+		t.Fatalf("%d packets delivered during the blackout", n)
+	}
+	if n := r.deliveredIn(150*time.Millisecond, 400*time.Millisecond); n == 0 {
+		t.Fatal("nothing delivered after the blackout ended")
+	}
+	// Held packets are delivered, not dropped.
+	if got, want := len(r.delivered), 300; got != want {
+		t.Fatalf("delivered %d packets total, want %d", got, want)
+	}
+}
+
+func TestRateStepChangesServiceRate(t *testing.T) {
+	r := newRig(t, netem.PipeConfig{Rate: 8 * units.Mbps, QueuePackets: 1000})
+	sched := Schedule{Events: []Event{RateStep{At: 100 * time.Millisecond, Rate: 80 * units.Mbps}}}
+	if err := sched.Install(r.eng, r.path); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	// 2 packets/ms of 1000B ≈ 16 Mbps offered: overload at 8, underload at 80.
+	r.feed(500*time.Microsecond, 200*time.Millisecond)
+	r.eng.Run(300 * time.Millisecond)
+	before := r.deliveredIn(0, 100*time.Millisecond)
+	after := r.deliveredIn(100*time.Millisecond, 200*time.Millisecond)
+	if after <= before*2 {
+		t.Fatalf("rate step had no effect: %d before vs %d after", before, after)
+	}
+}
+
+func TestRateRampMonotoneSpacing(t *testing.T) {
+	r := newRig(t, netem.PipeConfig{Rate: 100 * units.Mbps, QueuePackets: 1000})
+	sched := Schedule{Events: []Event{RateRamp{
+		Start: 50 * time.Millisecond, Duration: 100 * time.Millisecond,
+		From: 100 * units.Mbps, To: 10 * units.Mbps, Steps: 5,
+	}}}
+	if err := sched.Install(r.eng, r.path); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	r.feed(200*time.Microsecond, 250*time.Millisecond)
+	r.eng.Run(300 * time.Millisecond)
+	// 5 packets/ms of 1000B = 40 Mbps offered: under the start rate,
+	// over the end rate — deliveries must thin out as the ramp bites.
+	early := r.deliveredIn(0, 50*time.Millisecond)
+	late := r.deliveredIn(150*time.Millisecond, 200*time.Millisecond)
+	if late*2 >= early {
+		t.Fatalf("ramp did not throttle: early %d late %d", early, late)
+	}
+}
+
+func TestDelaySpikeAppliesAndRestores(t *testing.T) {
+	base := 5 * time.Millisecond
+	r := newRig(t, netem.PipeConfig{Rate: units.Gbps, Delay: base, QueuePackets: 100})
+	sched := Schedule{Events: []Event{DelaySpike{
+		Start: 50 * time.Millisecond, Duration: 50 * time.Millisecond, Extra: 40 * time.Millisecond,
+	}}}
+	if err := sched.Install(r.eng, r.path); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	probe := func(at time.Duration) { r.eng.Schedule(at, func() { r.path.Send(&seg.Packet{Len: 1000}) }) }
+	probe(10 * time.Millisecond)  // before: ~base
+	probe(60 * time.Millisecond)  // during: ~base+40ms
+	probe(150 * time.Millisecond) // after: ~base again
+	r.eng.Run(300 * time.Millisecond)
+	if len(r.delivered) != 3 {
+		t.Fatalf("delivered %d probes, want 3", len(r.delivered))
+	}
+	lat := []time.Duration{
+		r.delivered[0] - 10*time.Millisecond,
+		r.delivered[1] - 60*time.Millisecond,
+		r.delivered[2] - 150*time.Millisecond,
+	}
+	if lat[0] > 6*time.Millisecond || lat[2] > 6*time.Millisecond {
+		t.Fatalf("base latency off: %v", lat)
+	}
+	if lat[1] < 44*time.Millisecond {
+		t.Fatalf("spike latency %v, want >= 44ms", lat[1])
+	}
+}
+
+func TestHandoverSwitchesLinkParameters(t *testing.T) {
+	r := newRig(t, netem.PipeConfig{Rate: 18 * units.Mbps, Delay: 25 * time.Millisecond, QueuePackets: 300})
+	sched := Schedule{Events: []Event{Handover{
+		At: 100 * time.Millisecond, Outage: 30 * time.Millisecond,
+		Rate: 600 * units.Mbps, Delay: 800 * time.Microsecond,
+	}}}
+	if err := sched.Install(r.eng, r.path); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	r.eng.Run(140 * time.Millisecond)
+	hop := r.path.Hop(0)
+	if got := hop.Rate(); got != 600*units.Mbps {
+		t.Fatalf("post-handover rate %v", got)
+	}
+	if got := hop.Delay(); got != 800*time.Microsecond {
+		t.Fatalf("post-handover delay %v", got)
+	}
+	if hop.Paused() {
+		t.Fatal("link still paused after outage")
+	}
+}
+
+func TestBurstLossWindowed(t *testing.T) {
+	r := newRig(t, netem.PipeConfig{Rate: units.Gbps, QueuePackets: 10000})
+	sched := Schedule{Events: []Event{BurstLoss{
+		Start: 50 * time.Millisecond, Duration: 100 * time.Millisecond,
+		GE: netem.GEConfig{PGoodToBad: 0.05, PBadToGood: 0.2, LossBad: 0.9},
+	}}}
+	if err := sched.Install(r.eng, r.path); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	r.feed(100*time.Microsecond, 250*time.Millisecond)
+	r.eng.Run(300 * time.Millisecond)
+	before := r.deliveredIn(0, 50*time.Millisecond)
+	during := r.deliveredIn(50*time.Millisecond, 150*time.Millisecond)
+	after := r.deliveredIn(150*time.Millisecond, 250*time.Millisecond)
+	// ~500 offered per window half before/after, ~1000 during.
+	if before < 490 || after < 980 {
+		t.Fatalf("loss outside the window: before %d after %d", before, after)
+	}
+	if during >= 1000 {
+		t.Fatalf("no loss during the burst window: %d", during)
+	}
+}
+
+func TestScheduleDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		eng := sim.New(seed)
+		path, err := netem.NewPath(eng, netem.PathConfig{
+			Hops: []netem.PipeConfig{{Rate: 100 * units.Mbps, QueuePackets: 100}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []time.Duration
+		path.SetReceiver(func(p *seg.Packet) { got = append(got, eng.Now()) })
+		sched := Schedule{Events: []Event{
+			BurstLoss{Start: 10 * time.Millisecond, GE: netem.GEConfig{PGoodToBad: 0.1, PBadToGood: 0.3, LossBad: 0.8}},
+			Blackout{Start: 40 * time.Millisecond, Duration: 20 * time.Millisecond},
+		}}
+		if err := sched.Install(eng, path); err != nil {
+			t.Fatal(err)
+		}
+		var seq int64
+		var tick func()
+		tick = func() {
+			if eng.Now() >= 100*time.Millisecond {
+				return
+			}
+			path.Send(&seg.Packet{Seq: seq, Len: 1000})
+			seq += 1000
+			eng.Schedule(500*time.Microsecond, tick)
+		}
+		tick()
+		eng.Run(150 * time.Millisecond)
+		return got
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different delivery counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical delivery schedules")
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	bad := []Schedule{
+		{Hop: -1},
+		{Events: []Event{nil}},
+		{Events: []Event{Blackout{Start: -time.Second, Duration: time.Second}}},
+		{Events: []Event{Blackout{Start: 0, Duration: 0}}},
+		{Events: []Event{RateStep{At: 0, Rate: 0}}},
+		{Events: []Event{RateRamp{Duration: time.Second, From: 0, To: units.Mbps}}},
+		{Events: []Event{DelaySpike{Duration: time.Second, Extra: 0}}},
+		{Events: []Event{BurstLoss{GE: netem.GEConfig{PGoodToBad: 2}}}},
+		{Events: []Event{Handover{Outage: -time.Second}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad schedule %d validated", i)
+		}
+	}
+	good := Schedule{Events: []Event{
+		Blackout{Start: time.Second, Duration: 2 * time.Second},
+		Handover{At: 4 * time.Second, Outage: 150 * time.Millisecond, Rate: 600 * units.Mbps},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good schedule rejected: %v", err)
+	}
+	// Hop out of range is an Install-time error.
+	eng := sim.New(1)
+	path, err := netem.NewPath(eng, netem.PathConfig{Hops: []netem.PipeConfig{{Rate: units.Mbps}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oob := Schedule{Hop: 3, Events: []Event{Blackout{Start: 0, Duration: time.Second}}}
+	if err := oob.Install(eng, path); err == nil {
+		t.Error("out-of-range hop installed")
+	}
+}

@@ -84,8 +84,10 @@ type Interval struct {
 }
 
 // New assembles a session: conns connections, receivers, and the demux. It
-// does not start transmission; call Start (or Run).
-func New(eng *sim.Engine, cpu *cpumodel.CPU, path *netem.Path, cfg Config) *Session {
+// does not start transmission; call Start (or Run). A config without a
+// congestion-control factory is a caller input error, returned — not
+// panicked.
+func New(eng *sim.Engine, cpu *cpumodel.CPU, path *netem.Path, cfg Config) (*Session, error) {
 	if cfg.Conns <= 0 {
 		cfg.Conns = 1
 	}
@@ -101,7 +103,7 @@ func New(eng *sim.Engine, cpu *cpumodel.CPU, path *netem.Path, cfg Config) *Sess
 		cfg.StaggerStarts = 10 * time.Millisecond
 	}
 	if cfg.CC == nil && len(cfg.CCMix) == 0 {
-		panic("iperf: Config.CC or Config.CCMix is required")
+		return nil, fmt.Errorf("iperf: Config.CC or Config.CCMix is required")
 	}
 	s := &Session{eng: eng, cpu: cpu, path: path, cfg: cfg}
 	// Cache/TLB pressure grows gently with the number of hot sockets.
@@ -130,7 +132,7 @@ func New(eng *sim.Engine, cpu *cpumodel.CPU, path *netem.Path, cfg Config) *Sess
 		s.rxs = append(s.rxs, rx)
 	}
 	path.SetReceiver(demux.Handle)
-	return s
+	return s, nil
 }
 
 // Conns returns the session's connections (for experiment-specific probes).
@@ -253,6 +255,15 @@ type Report struct {
 	// Intervals holds the iperf3-style per-interval series when
 	// Config.Interval was set.
 	Intervals []Interval
+	// SpuriousRTOs counts F-RTO-detected spurious timeouts across conns —
+	// expected to be nonzero under blackout/handover fault schedules.
+	SpuriousRTOs int64
+	// IdleRestarts counts RFC 2861 cwnd restarts after idle across conns.
+	IdleRestarts int64
+	// ConnErrors lists the connections the transport declared dead (RTO
+	// retries exhausted, stall watchdog) with their reasons. A dead
+	// connection is a measured outcome of the run, not a run failure.
+	ConnErrors []error
 }
 
 // WriteIntervalsCSV writes the interval series as CSV (start_s, end_s,
@@ -296,6 +307,11 @@ func (s *Session) Collect() *Report {
 		st := s.conns[i].Stats()
 		r.Retransmits += st.Retransmits
 		r.Lost += st.Lost
+		r.SpuriousRTOs += st.SpuriousRTOs
+		r.IdleRestarts += st.IdleRestarts
+		if st.Failed != nil {
+			r.ConnErrors = append(r.ConnErrors, st.Failed)
+		}
 		if st.MinRTT > 0 && (r.MinRTT == 0 || st.MinRTT < r.MinRTT) {
 			r.MinRTT = st.MinRTT
 		}

@@ -17,13 +17,25 @@ import (
 func newRig(seed int64) (*sim.Engine, *cpumodel.CPU, *netem.Path) {
 	eng := sim.New(seed)
 	cpu := cpumodel.NewCPU(eng, cpumodel.DefaultCosts(), 3e9)
-	path := netem.EthernetLAN(eng, netem.TC{})
+	path, err := netem.EthernetLAN(eng, netem.TC{})
+	if err != nil {
+		panic(err)
+	}
 	return eng, cpu, path
+}
+
+func mustNew(t *testing.T, eng *sim.Engine, cpu *cpumodel.CPU, path *netem.Path, cfg Config) *Session {
+	t.Helper()
+	s, err := New(eng, cpu, path, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
 }
 
 func TestSessionBasics(t *testing.T) {
 	eng, cpu, path := newRig(1)
-	sess := New(eng, cpu, path, Config{
+	sess := mustNew(t, eng, cpu, path, Config{
 		Conns:    4,
 		Duration: time.Second,
 		CC:       cubic.Factory(),
@@ -55,7 +67,7 @@ func TestSessionBasics(t *testing.T) {
 func TestWarmupExcluded(t *testing.T) {
 	run := func(warmup time.Duration) units.Bandwidth {
 		eng, cpu, path := newRig(1)
-		sess := New(eng, cpu, path, Config{
+		sess := mustNew(t, eng, cpu, path, Config{
 			Conns:    1,
 			Duration: 2 * time.Second,
 			Warmup:   warmup,
@@ -74,12 +86,12 @@ func TestWarmupExcluded(t *testing.T) {
 
 func TestPressureScalesWithConns(t *testing.T) {
 	eng, cpu, path := newRig(1)
-	New(eng, cpu, path, Config{Conns: 1, Duration: time.Second, CC: cubic.Factory()})
+	mustNew(t, eng, cpu, path, Config{Conns: 1, Duration: time.Second, CC: cubic.Factory()})
 	if cpu.Pressure() != 1 {
 		t.Errorf("1-conn pressure = %v, want 1", cpu.Pressure())
 	}
 	eng2, cpu2, path2 := newRig(1)
-	New(eng2, cpu2, path2, Config{Conns: 20, Duration: time.Second, CC: cubic.Factory()})
+	mustNew(t, eng2, cpu2, path2, Config{Conns: 20, Duration: time.Second, CC: cubic.Factory()})
 	if cpu2.Pressure() <= 1.1 {
 		t.Errorf("20-conn pressure = %v, want > 1.1", cpu2.Pressure())
 	}
@@ -87,17 +99,14 @@ func TestPressureScalesWithConns(t *testing.T) {
 
 func TestConfigValidation(t *testing.T) {
 	eng, cpu, path := newRig(1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic without CC factory")
-		}
-	}()
-	New(eng, cpu, path, Config{Conns: 1, Duration: time.Second})
+	if _, err := New(eng, cpu, path, Config{Conns: 1, Duration: time.Second}); err == nil {
+		t.Fatal("expected error without CC factory")
+	}
 }
 
 func TestReportFieldsPopulated(t *testing.T) {
 	eng, cpu, path := newRig(2)
-	sess := New(eng, cpu, path, Config{
+	sess := mustNew(t, eng, cpu, path, Config{
 		Conns:    2,
 		Duration: 2 * time.Second,
 		CC:       cubic.Factory(),
@@ -122,7 +131,7 @@ func TestReportFieldsPopulated(t *testing.T) {
 
 func TestStaggerSpreadsStarts(t *testing.T) {
 	eng, cpu, path := newRig(3)
-	sess := New(eng, cpu, path, Config{
+	sess := mustNew(t, eng, cpu, path, Config{
 		Conns:         10,
 		Duration:      time.Second,
 		StaggerStarts: 50 * time.Millisecond,
@@ -155,7 +164,7 @@ func (stubPacingCC) WantsPacing() bool         { return true }
 
 func TestPacingStatsInReport(t *testing.T) {
 	eng, cpu, path := newRig(4)
-	sess := New(eng, cpu, path, Config{
+	sess := mustNew(t, eng, cpu, path, Config{
 		Conns:    1,
 		Duration: 2 * time.Second,
 		CC:       func() cc.CongestionControl { return stubPacingCC{} },
@@ -180,7 +189,7 @@ func TestPacingStatsInReport(t *testing.T) {
 
 func TestIntervalSeries(t *testing.T) {
 	eng, cpu, path := newRig(5)
-	sess := New(eng, cpu, path, Config{
+	sess := mustNew(t, eng, cpu, path, Config{
 		Conns:    2,
 		Duration: 2 * time.Second,
 		Interval: 500 * time.Millisecond,
@@ -217,7 +226,7 @@ func TestIntervalSeries(t *testing.T) {
 
 func TestFairnessInReport(t *testing.T) {
 	eng, cpu, path := newRig(6)
-	sess := New(eng, cpu, path, Config{
+	sess := mustNew(t, eng, cpu, path, Config{
 		Conns: 4, Duration: 2 * time.Second, CC: cubic.Factory(),
 	})
 	rep := sess.Run()
@@ -236,7 +245,7 @@ func TestFairnessInReport(t *testing.T) {
 
 func TestCCMixAlternates(t *testing.T) {
 	eng, cpu, path := newRig(7)
-	sess := New(eng, cpu, path, Config{
+	sess := mustNew(t, eng, cpu, path, Config{
 		Conns:    4,
 		Duration: time.Second,
 		CCMix:    []cc.Factory{cubic.Factory(), reno.Factory()},
@@ -258,7 +267,7 @@ func TestCCMixAlternates(t *testing.T) {
 
 func TestCPUBreakdownInReport(t *testing.T) {
 	eng, cpu, path := newRig(8)
-	sess := New(eng, cpu, path, Config{
+	sess := mustNew(t, eng, cpu, path, Config{
 		Conns: 2, Duration: time.Second,
 		CC: func() cc.CongestionControl { return stubPacingCC{} },
 	})

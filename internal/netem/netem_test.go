@@ -13,10 +13,30 @@ func mkPkt(flow int, sq int64, n units.DataSize) *seg.Packet {
 	return &seg.Packet{Flow: flow, Seq: sq, Len: n}
 }
 
+// mustPipe builds a pipe or fails the test.
+func mustPipe(t *testing.T, eng *sim.Engine, cfg PipeConfig, next PacketHandler) *Pipe {
+	t.Helper()
+	p, err := NewPipe(eng, cfg, next)
+	if err != nil {
+		t.Fatalf("NewPipe: %v", err)
+	}
+	return p
+}
+
+// mustPath builds a path or fails the test.
+func mustPath(t *testing.T, eng *sim.Engine, cfg PathConfig) *Path {
+	t.Helper()
+	p, err := NewPath(eng, cfg)
+	if err != nil {
+		t.Fatalf("NewPath: %v", err)
+	}
+	return p
+}
+
 func TestPipeSerializationTiming(t *testing.T) {
 	eng := sim.New(1)
 	var arrivals []time.Duration
-	p := NewPipe(eng, PipeConfig{Name: "l", Rate: 10 * units.Mbps, Delay: time.Millisecond},
+	p := mustPipe(t, eng, PipeConfig{Name: "l", Rate: 10 * units.Mbps, Delay: time.Millisecond},
 		func(pkt *seg.Packet) { arrivals = append(arrivals, eng.Now()) })
 	// 1250 bytes at 10Mbps = 1ms serialization.
 	p.Enqueue(mkPkt(0, 0, 1250))
@@ -36,7 +56,7 @@ func TestPipeSerializationTiming(t *testing.T) {
 func TestPipeDropTail(t *testing.T) {
 	eng := sim.New(1)
 	delivered := 0
-	p := NewPipe(eng, PipeConfig{Name: "l", Rate: units.Mbps, QueuePackets: 5},
+	p := mustPipe(t, eng, PipeConfig{Name: "l", Rate: units.Mbps, QueuePackets: 5},
 		func(pkt *seg.Packet) { delivered++ })
 	accepted := 0
 	for i := 0; i < 20; i++ {
@@ -61,7 +81,7 @@ func TestPipeDropTail(t *testing.T) {
 func TestPipeRandomLossDeterministic(t *testing.T) {
 	run := func() uint64 {
 		eng := sim.New(99)
-		p := NewPipe(eng, PipeConfig{Name: "l", Rate: units.Gbps, LossRate: 0.3, QueuePackets: 10000},
+		p := mustPipe(t, eng, PipeConfig{Name: "l", Rate: units.Gbps, LossRate: 0.3, QueuePackets: 10000},
 			func(pkt *seg.Packet) {})
 		for i := 0; i < 1000; i++ {
 			p.Enqueue(mkPkt(0, int64(i)*1000, 1000))
@@ -80,7 +100,7 @@ func TestPipeRandomLossDeterministic(t *testing.T) {
 func TestPipeFIFOOrder(t *testing.T) {
 	eng := sim.New(1)
 	var seqs []int64
-	p := NewPipe(eng, PipeConfig{Name: "l", Rate: units.Gbps},
+	p := mustPipe(t, eng, PipeConfig{Name: "l", Rate: units.Gbps},
 		func(pkt *seg.Packet) { seqs = append(seqs, pkt.Seq) })
 	for i := int64(0); i < 50; i++ {
 		p.Enqueue(mkPkt(0, i, 100))
@@ -95,7 +115,7 @@ func TestPipeFIFOOrder(t *testing.T) {
 
 func TestPathEndToEnd(t *testing.T) {
 	eng := sim.New(1)
-	path := NewPath(eng, PathConfig{
+	path := mustPath(t, eng, PathConfig{
 		Hops: []PipeConfig{
 			{Name: "a", Rate: units.Gbps, Delay: time.Millisecond},
 			{Name: "b", Rate: units.Gbps, Delay: 2 * time.Millisecond},
@@ -130,7 +150,7 @@ func TestPathEndToEnd(t *testing.T) {
 
 func TestPathInterHopDropCounted(t *testing.T) {
 	eng := sim.New(1)
-	path := NewPath(eng, PathConfig{
+	path := mustPath(t, eng, PathConfig{
 		Hops: []PipeConfig{
 			{Name: "fast", Rate: units.Gbps, QueuePackets: 1000},
 			{Name: "slow", Rate: units.Mbps, QueuePackets: 2},
@@ -152,7 +172,10 @@ func TestPathInterHopDropCounted(t *testing.T) {
 
 func TestPathMinRTT(t *testing.T) {
 	eng := sim.New(1)
-	path := EthernetLAN(eng, TC{})
+	path, err := EthernetLAN(eng, TC{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	rtt := path.MinRTT()
 	if rtt <= 0 || rtt > 2*time.Millisecond {
 		t.Errorf("Ethernet LAN base RTT = %v, want sub-2ms", rtt)
@@ -161,7 +184,10 @@ func TestPathMinRTT(t *testing.T) {
 
 func TestEthernetPresetTCOverrides(t *testing.T) {
 	eng := sim.New(1)
-	path := EthernetLAN(eng, TC{Rate: 600 * units.Mbps, QueuePackets: 10, Loss: 0.01})
+	path, err := EthernetLAN(eng, TC{Rate: 600 * units.Mbps, QueuePackets: 10, Loss: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
 	router := path.Hop(1)
 	if router.Rate() != 600*units.Mbps {
 		t.Errorf("router rate = %v, want 600Mbps", router.Rate())
@@ -176,7 +202,10 @@ func TestEthernetPresetTCOverrides(t *testing.T) {
 
 func TestCellularPresetIsBandwidthLimited(t *testing.T) {
 	eng := sim.New(1)
-	path := CellularLTE(eng, TC{})
+	path, err := CellularLTE(eng, TC{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r := path.Hop(0).Rate(); r > 25*units.Mbps {
 		t.Errorf("LTE uplink rate = %v, want <= 25Mbps (bandwidth-limited)", r)
 	}
@@ -187,7 +216,10 @@ func TestCellularPresetIsBandwidthLimited(t *testing.T) {
 
 func TestWiFiModulatorVariesRate(t *testing.T) {
 	eng := sim.New(7)
-	path, mod := WiFiLAN(eng, TC{})
+	path, mod, err := WiFiLAN(eng, TC{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	air := path.Hop(0)
 	base := air.Rate()
 	mod.Start()
@@ -207,7 +239,10 @@ func TestWiFiModulatorVariesRate(t *testing.T) {
 
 func TestWiFiModulatorStartIdempotent(t *testing.T) {
 	eng := sim.New(7)
-	_, mod := WiFiLAN(eng, TC{})
+	_, mod, err := WiFiLAN(eng, TC{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	mod.Start()
 	mod.Start()
 	before := eng.Pending()
@@ -219,26 +254,163 @@ func TestWiFiModulatorStartIdempotent(t *testing.T) {
 	}
 }
 
-func TestPipePanics(t *testing.T) {
+func TestPipeConfigErrors(t *testing.T) {
 	eng := sim.New(1)
-	mustPanic := func(name string, f func()) {
-		t.Helper()
-		defer func() {
-			if recover() == nil {
-				t.Errorf("%s: expected panic", name)
-			}
-		}()
-		f()
+	sink := func(*seg.Packet) {}
+	cases := []struct {
+		name string
+		cfg  PipeConfig
+	}{
+		{"zero rate", PipeConfig{}},
+		{"negative delay", PipeConfig{Rate: units.Gbps, Delay: -time.Second}},
+		{"loss above one", PipeConfig{Rate: units.Gbps, LossRate: 1.5}},
+		{"negative queue", PipeConfig{Rate: units.Gbps, QueuePackets: -1}},
+		{"bad GE", PipeConfig{Rate: units.Gbps, GE: &GEConfig{PGoodToBad: 2}}},
 	}
-	mustPanic("zero rate", func() { NewPipe(eng, PipeConfig{}, func(*seg.Packet) {}) })
-	mustPanic("nil next", func() { NewPipe(eng, PipeConfig{Rate: units.Gbps}, nil) })
-	mustPanic("empty path", func() { NewPath(eng, PathConfig{}) })
+	for _, c := range cases {
+		if _, err := NewPipe(eng, c.cfg, sink); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	if _, err := NewPath(eng, PathConfig{}); err == nil {
+		t.Error("empty path: expected error")
+	}
+	if _, err := NewPath(eng, PathConfig{Hops: []PipeConfig{{Rate: units.Gbps}}, AckDelay: -1}); err == nil {
+		t.Error("negative ack delay: expected error")
+	}
+	// A nil downstream handler is a programmer error and still panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("nil next: expected panic")
+		}
+	}()
+	NewPipe(eng, PipeConfig{Rate: units.Gbps}, nil)
+}
+
+func TestTCValidate(t *testing.T) {
+	if err := (TC{Rate: 600 * units.Mbps, Loss: 0.01}).Validate(); err != nil {
+		t.Errorf("valid TC rejected: %v", err)
+	}
+	bad := []TC{
+		{Loss: -0.1}, {Loss: 1.01}, {Delay: -time.Second},
+		{QueuePackets: -2}, {ECNThreshold: -1}, {ReorderJitter: -time.Millisecond},
+	}
+	for i, tc := range bad {
+		if err := tc.Validate(); err == nil {
+			t.Errorf("bad TC %d accepted", i)
+		}
+	}
+	if _, err := EthernetLAN(sim.New(1), TC{Loss: 2}); err == nil {
+		t.Error("preset accepted invalid TC")
+	}
+}
+
+func TestPipePauseResume(t *testing.T) {
+	eng := sim.New(1)
+	delivered := 0
+	p := mustPipe(t, eng, PipeConfig{Name: "l", Rate: units.Gbps, QueuePackets: 4},
+		func(pkt *seg.Packet) { delivered++ })
+	p.Pause()
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if p.Enqueue(mkPkt(0, int64(i)*1000, 1000)) {
+			accepted++
+		}
+	}
+	eng.Run(100 * time.Millisecond)
+	if delivered != 0 {
+		t.Fatalf("delivered %d during blackout, want 0", delivered)
+	}
+	// Queue holds 4, the rest tail-drop: exactly the blackout behaviour.
+	if accepted != 4 {
+		t.Errorf("accepted = %d, want 4 (queue cap)", accepted)
+	}
+	if p.Stats().DropsQueue != 6 {
+		t.Errorf("queue drops = %d, want 6", p.Stats().DropsQueue)
+	}
+	p.Resume()
+	eng.Run(200 * time.Millisecond)
+	if delivered != 4 {
+		t.Errorf("delivered = %d after resume, want 4", delivered)
+	}
+	// Double-resume must not double-serve.
+	p.Resume()
+	eng.Run(300 * time.Millisecond)
+	if delivered != 4 {
+		t.Errorf("delivered = %d after second resume, want 4", delivered)
+	}
+}
+
+func TestPipeSetDelayAndLoss(t *testing.T) {
+	eng := sim.New(1)
+	var at time.Duration
+	p := mustPipe(t, eng, PipeConfig{Name: "l", Rate: 10 * units.Mbps, Delay: time.Millisecond},
+		func(pkt *seg.Packet) { at = eng.Now() })
+	if err := p.SetDelay(5 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	p.Enqueue(mkPkt(0, 0, 1250)) // 1ms serialization
+	eng.Run(time.Second)
+	if at != 6*time.Millisecond {
+		t.Errorf("arrival at %v, want 6ms (1ms tx + 5ms new delay)", at)
+	}
+	if err := p.SetDelay(-1); err == nil {
+		t.Error("negative SetDelay accepted")
+	}
+	if err := p.SetLoss(1.5); err == nil {
+		t.Error("SetLoss 1.5 accepted")
+	}
+	if err := p.SetLoss(1); err != nil {
+		t.Fatal(err)
+	}
+	if p.Enqueue(mkPkt(0, 1250, 1250)) {
+		t.Error("packet accepted at 100% loss")
+	}
+}
+
+func TestGilbertElliottBurstLoss(t *testing.T) {
+	eng := sim.New(5)
+	delivered := 0
+	p := mustPipe(t, eng, PipeConfig{
+		Name: "l", Rate: units.Gbps, QueuePackets: 100000,
+		GE: &GEConfig{PGoodToBad: 0.02, PBadToGood: 0.1, LossGood: 0, LossBad: 1},
+	}, func(pkt *seg.Packet) { delivered++ })
+	drops, runs, inRun := 0, 0, false
+	for i := 0; i < 5000; i++ {
+		if p.Enqueue(mkPkt(0, int64(i)*100, 100)) {
+			inRun = false
+		} else {
+			drops++
+			if !inRun {
+				runs++
+				inRun = true
+			}
+		}
+	}
+	if drops == 0 {
+		t.Fatal("GE model produced no loss")
+	}
+	// Bursty: mean run length 1/PBadToGood = 10 ≫ 1, so far fewer runs
+	// than drops.
+	if runs*3 > drops {
+		t.Errorf("loss not bursty: %d drops in %d runs", drops, runs)
+	}
+	if got := p.Stats().DropsRand; got != uint64(drops) {
+		t.Errorf("DropsRand = %d, want %d", got, drops)
+	}
+	// Disabling restores lossless entry.
+	if err := p.SetGE(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Enqueue(mkPkt(0, 0, 100)) {
+		t.Error("drop after disabling GE")
+	}
 }
 
 func TestECNMarkingAtThreshold(t *testing.T) {
 	eng := sim.New(1)
 	var ce, total int
-	p := NewPipe(eng, PipeConfig{Name: "l", Rate: units.Mbps, QueuePackets: 50, ECNThreshold: 5},
+	p := mustPipe(t, eng, PipeConfig{Name: "l", Rate: units.Mbps, QueuePackets: 50, ECNThreshold: 5},
 		func(pkt *seg.Packet) {
 			total++
 			if pkt.CE {
@@ -267,7 +439,7 @@ func TestECNMarkingAtThreshold(t *testing.T) {
 
 func TestECNOffNeverMarks(t *testing.T) {
 	eng := sim.New(1)
-	p := NewPipe(eng, PipeConfig{Name: "l", Rate: units.Mbps, QueuePackets: 50},
+	p := mustPipe(t, eng, PipeConfig{Name: "l", Rate: units.Mbps, QueuePackets: 50},
 		func(pkt *seg.Packet) {
 			if pkt.CE {
 				t.Error("CE mark with ECN disabled")
@@ -282,7 +454,7 @@ func TestECNOffNeverMarks(t *testing.T) {
 func TestReorderJitterReorders(t *testing.T) {
 	eng := sim.New(3)
 	var seqs []int64
-	p := NewPipe(eng, PipeConfig{Name: "l", Rate: units.Gbps, ReorderJitter: time.Millisecond},
+	p := mustPipe(t, eng, PipeConfig{Name: "l", Rate: units.Gbps, ReorderJitter: time.Millisecond},
 		func(pkt *seg.Packet) { seqs = append(seqs, pkt.Seq) })
 	for i := int64(0); i < 200; i++ {
 		p.Enqueue(mkPkt(0, i, 100))

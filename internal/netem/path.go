@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"fmt"
 	"time"
 
 	"mobbr/internal/seg"
@@ -23,6 +24,22 @@ type PathConfig struct {
 	AckDelay time.Duration
 }
 
+// Validate checks the path and every hop.
+func (cfg PathConfig) Validate() error {
+	if len(cfg.Hops) == 0 {
+		return fmt.Errorf("netem: path needs at least one hop")
+	}
+	if cfg.AckDelay < 0 {
+		return fmt.Errorf("netem: negative ack delay %v", cfg.AckDelay)
+	}
+	for i, h := range cfg.Hops {
+		if err := h.Validate(); err != nil {
+			return fmt.Errorf("hop %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // Path is the emulated network between the phone's stack and the iPerf
 // server. The receiver is attached with SetReceiver; ACKs are returned to
 // the handler passed to ReturnAck.
@@ -34,10 +51,11 @@ type Path struct {
 	drops uint64
 }
 
-// NewPath builds the chain of pipes described by cfg.
-func NewPath(eng *sim.Engine, cfg PathConfig) *Path {
-	if len(cfg.Hops) == 0 {
-		panic("netem: path needs at least one hop")
+// NewPath builds the chain of pipes described by cfg, rejecting invalid
+// configurations with an error.
+func NewPath(eng *sim.Engine, cfg PathConfig) (*Path, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	p := &Path{eng: eng, cfg: cfg}
 	// Build from the last hop backwards so each pipe can point at the
@@ -50,7 +68,10 @@ func NewPath(eng *sim.Engine, cfg PathConfig) *Path {
 	pipes := make([]*Pipe, len(cfg.Hops))
 	for i := len(cfg.Hops) - 1; i >= 0; i-- {
 		downstream := next
-		pipe := NewPipe(eng, cfg.Hops[i], downstream)
+		pipe, err := NewPipe(eng, cfg.Hops[i], downstream)
+		if err != nil {
+			return nil, err // unreachable: Validate covered every hop
+		}
 		pipes[i] = pipe
 	}
 	for i := 0; i < len(pipes)-1; i++ {
@@ -63,7 +84,7 @@ func NewPath(eng *sim.Engine, cfg PathConfig) *Path {
 		}
 	}
 	p.hops = pipes
-	return p
+	return p, nil
 }
 
 // SetReceiver attaches the handler that receives packets at the far end.
@@ -97,6 +118,17 @@ func (p *Path) NumHops() int { return len(p.hops) }
 // TotalDrops returns the count of packets dropped anywhere along the path.
 func (p *Path) TotalDrops() uint64 {
 	n := p.drops
+	return n
+}
+
+// InTransit returns the packets currently inside the path: queued, being
+// serialized, or in propagation flight on any hop. (ACKs in return flight
+// are not counted; the return direction is pure delay.)
+func (p *Path) InTransit() int {
+	n := 0
+	for _, h := range p.hops {
+		n += h.InTransit()
+	}
 	return n
 }
 

@@ -1,7 +1,9 @@
 // Package netem emulates the testbed network: rate-limited links with
 // drop-tail queues and propagation delay, assembled into paths (device NIC →
 // OpenWRT router → server), plus tc-style impairments (rate caps, extra
-// delay, random loss), a WiFi rate-variation model and an LTE preset.
+// delay, random loss), a WiFi rate-variation model, an LTE preset, and
+// mutators (rate, delay, loss, pause/resume, burst loss) that the fault-
+// injection layer drives mid-run.
 package netem
 
 import (
@@ -15,6 +17,37 @@ import (
 
 // PacketHandler consumes packets at the downstream end of a pipe.
 type PacketHandler func(p *seg.Packet)
+
+// GEConfig is a Gilbert–Elliott two-state burst-loss model: the link
+// alternates between a Good and a Bad state, with independent loss rates in
+// each, and per-packet transition probabilities. It reproduces the bursty
+// loss of a fading radio channel that i.i.d. LossRate cannot.
+type GEConfig struct {
+	// PGoodToBad is the per-packet probability of entering the Bad state.
+	PGoodToBad float64
+	// PBadToGood is the per-packet probability of returning to Good.
+	PBadToGood float64
+	// LossGood is the drop probability while Good (usually ~0).
+	LossGood float64
+	// LossBad is the drop probability while Bad (often near 1).
+	LossBad float64
+}
+
+// Validate checks that all probabilities are in [0, 1].
+func (g GEConfig) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"PGoodToBad", g.PGoodToBad}, {"PBadToGood", g.PBadToGood},
+		{"LossGood", g.LossGood}, {"LossBad", g.LossBad},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("netem: GE %s = %v out of [0,1]", p.name, p.v)
+		}
+	}
+	return nil
+}
 
 // PipeConfig describes one hop: a drop-tail queue draining into a serial
 // link with propagation delay, optionally with i.i.d. random loss (tc netem
@@ -40,6 +73,37 @@ type PipeConfig struct {
 	// to each packet after serialization (tc netem delay jitter), which
 	// reorders packets whose spacing is below the jitter.
 	ReorderJitter time.Duration
+	// GE, when non-nil, enables Gilbert–Elliott burst loss on entry in
+	// place of the i.i.d. LossRate (both may be set; GE is applied first).
+	GE *GEConfig
+}
+
+// Validate checks the hop's parameters.
+func (cfg PipeConfig) Validate() error {
+	if cfg.Rate <= 0 {
+		return fmt.Errorf("netem: pipe %q needs a positive rate, got %v", cfg.Name, cfg.Rate)
+	}
+	if cfg.Delay < 0 {
+		return fmt.Errorf("netem: pipe %q has negative delay %v", cfg.Name, cfg.Delay)
+	}
+	if cfg.QueuePackets < 0 {
+		return fmt.Errorf("netem: pipe %q has negative queue depth %d", cfg.Name, cfg.QueuePackets)
+	}
+	if cfg.LossRate < 0 || cfg.LossRate > 1 {
+		return fmt.Errorf("netem: pipe %q loss rate %v out of [0,1]", cfg.Name, cfg.LossRate)
+	}
+	if cfg.ECNThreshold < 0 {
+		return fmt.Errorf("netem: pipe %q has negative ECN threshold %d", cfg.Name, cfg.ECNThreshold)
+	}
+	if cfg.ReorderJitter < 0 {
+		return fmt.Errorf("netem: pipe %q has negative reorder jitter %v", cfg.Name, cfg.ReorderJitter)
+	}
+	if cfg.GE != nil {
+		if err := cfg.GE.Validate(); err != nil {
+			return fmt.Errorf("pipe %q: %w", cfg.Name, err)
+		}
+	}
+	return nil
 }
 
 // Pipe is a single emulated hop. Packets are enqueued, serialized at Rate in
@@ -52,6 +116,9 @@ type Pipe struct {
 
 	queue   []*seg.Packet
 	sending bool
+	paused  bool
+	geBad   bool // Gilbert–Elliott state: currently Bad
+	inDelay int  // packets past serialization, in propagation flight
 
 	// Stats.
 	enqueued   uint64
@@ -62,10 +129,12 @@ type Pipe struct {
 	bytesOut   units.DataSize
 }
 
-// NewPipe returns a pipe on eng delivering to next.
-func NewPipe(eng *sim.Engine, cfg PipeConfig, next PacketHandler) *Pipe {
-	if cfg.Rate <= 0 {
-		panic(fmt.Sprintf("netem: pipe %q needs a positive rate", cfg.Name))
+// NewPipe returns a pipe on eng delivering to next. It rejects invalid
+// configurations with an error; a nil downstream handler is a programmer
+// error and panics.
+func NewPipe(eng *sim.Engine, cfg PipeConfig, next PacketHandler) (*Pipe, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.QueuePackets == 0 {
 		cfg.QueuePackets = 256
@@ -73,14 +142,15 @@ func NewPipe(eng *sim.Engine, cfg PipeConfig, next PacketHandler) *Pipe {
 	if next == nil {
 		panic("netem: pipe needs a downstream handler")
 	}
-	return &Pipe{eng: eng, cfg: cfg, next: next}
+	return &Pipe{eng: eng, cfg: cfg, next: next}, nil
 }
 
 // SetRate changes the link rate for packets serialized from now on. The
-// WiFi model uses this to emulate rate adaptation.
+// WiFi model uses this to emulate rate adaptation. Non-positive rates are a
+// programmer error (use Pause for an outage) and panic.
 func (p *Pipe) SetRate(r units.Bandwidth) {
 	if r <= 0 {
-		panic("netem: SetRate needs a positive rate")
+		panic("netem: SetRate needs a positive rate (use Pause for an outage)")
 	}
 	p.cfg.Rate = r
 }
@@ -88,12 +158,93 @@ func (p *Pipe) SetRate(r units.Bandwidth) {
 // Rate returns the current link rate.
 func (p *Pipe) Rate() units.Bandwidth { return p.cfg.Rate }
 
+// SetDelay changes the one-way propagation delay for packets completing
+// serialization from now on. Packets already past serialization keep the
+// delay they were assigned.
+func (p *Pipe) SetDelay(d time.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("netem: SetDelay with negative delay %v", d)
+	}
+	p.cfg.Delay = d
+	return nil
+}
+
+// Delay returns the current one-way propagation delay.
+func (p *Pipe) Delay() time.Duration { return p.cfg.Delay }
+
+// SetLoss changes the i.i.d. random loss probability applied on entry.
+func (p *Pipe) SetLoss(rate float64) error {
+	if rate < 0 || rate > 1 {
+		return fmt.Errorf("netem: SetLoss rate %v out of [0,1]", rate)
+	}
+	p.cfg.LossRate = rate
+	return nil
+}
+
+// SetGE installs (or, with nil, removes) a Gilbert–Elliott burst-loss model
+// on the hop. The state machine starts in Good.
+func (p *Pipe) SetGE(g *GEConfig) error {
+	if g != nil {
+		if err := g.Validate(); err != nil {
+			return err
+		}
+	}
+	p.cfg.GE = g
+	p.geBad = false
+	return nil
+}
+
+// Pause halts the drain loop: nothing serializes until Resume, so the queue
+// builds and eventually tail-drops — a radio blackout. A packet already
+// mid-serialization completes. Pausing twice is a no-op.
+func (p *Pipe) Pause() { p.paused = true }
+
+// Resume restarts the drain loop after Pause, serving whatever queued
+// during the outage.
+func (p *Pipe) Resume() {
+	if !p.paused {
+		return
+	}
+	p.paused = false
+	if !p.sending {
+		p.serveNext()
+	}
+}
+
+// Paused reports whether the drain loop is paused.
+func (p *Pipe) Paused() bool { return p.paused }
+
 // Config returns the pipe's configuration.
 func (p *Pipe) Config() PipeConfig { return p.cfg }
+
+// geDrop advances the Gilbert–Elliott state machine by one packet and
+// reports whether that packet is dropped.
+func (p *Pipe) geDrop() bool {
+	g := p.cfg.GE
+	rng := p.eng.Rand()
+	if p.geBad {
+		if rng.Float64() < g.PBadToGood {
+			p.geBad = false
+		}
+	} else {
+		if rng.Float64() < g.PGoodToBad {
+			p.geBad = true
+		}
+	}
+	loss := g.LossGood
+	if p.geBad {
+		loss = g.LossBad
+	}
+	return loss > 0 && rng.Float64() < loss
+}
 
 // Enqueue offers a packet to the hop. It reports whether the packet was
 // accepted (false means dropped by loss injection or a full queue).
 func (p *Pipe) Enqueue(pkt *seg.Packet) bool {
+	if p.cfg.GE != nil && p.geDrop() {
+		p.dropsRand++
+		return false
+	}
 	if p.cfg.LossRate > 0 && p.eng.Rand().Float64() < p.cfg.LossRate {
 		p.dropsRand++
 		return false
@@ -108,14 +259,14 @@ func (p *Pipe) Enqueue(pkt *seg.Packet) bool {
 		p.ceMarked++
 	}
 	p.queue = append(p.queue, pkt)
-	if !p.sending {
+	if !p.sending && !p.paused {
 		p.serveNext()
 	}
 	return true
 }
 
 func (p *Pipe) serveNext() {
-	if len(p.queue) == 0 {
+	if len(p.queue) == 0 || p.paused {
 		p.sending = false
 		return
 	}
@@ -131,7 +282,8 @@ func (p *Pipe) serveNext() {
 			delay += time.Duration(p.eng.Rand().Int63n(int64(p.cfg.ReorderJitter)))
 		}
 		if delay > 0 {
-			p.eng.Schedule(delay, func() { p.next(pkt) })
+			p.inDelay++
+			p.eng.Schedule(delay, func() { p.inDelay--; p.next(pkt) })
 		} else {
 			p.next(pkt)
 		}
@@ -142,6 +294,17 @@ func (p *Pipe) serveNext() {
 // QueueLen returns the instantaneous queue depth in packets (not counting
 // the packet being serialized).
 func (p *Pipe) QueueLen() int { return len(p.queue) }
+
+// InTransit returns the packets the hop currently holds: queued, mid-
+// serialization, and in propagation-delay flight — the invariant checker's
+// view of where in-network packets are.
+func (p *Pipe) InTransit() int {
+	n := len(p.queue) + p.inDelay
+	if p.sending {
+		n++
+	}
+	return n
+}
 
 // Stats returns the pipe's counters.
 func (p *Pipe) Stats() PipeStats {

@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"fmt"
 	"time"
 
 	"mobbr/internal/sim"
@@ -28,10 +29,36 @@ type TC struct {
 	ReorderJitter time.Duration
 }
 
+// Validate checks the impairment knobs.
+func (tc TC) Validate() error {
+	if tc.Rate < 0 {
+		return fmt.Errorf("netem: tc rate %v is negative", tc.Rate)
+	}
+	if tc.Delay < 0 {
+		return fmt.Errorf("netem: tc delay %v is negative", tc.Delay)
+	}
+	if tc.Loss < 0 || tc.Loss > 1 {
+		return fmt.Errorf("netem: tc loss %v out of [0,1]", tc.Loss)
+	}
+	if tc.QueuePackets < 0 {
+		return fmt.Errorf("netem: tc queue depth %d is negative", tc.QueuePackets)
+	}
+	if tc.ECNThreshold < 0 {
+		return fmt.Errorf("netem: tc ECN threshold %d is negative", tc.ECNThreshold)
+	}
+	if tc.ReorderJitter < 0 {
+		return fmt.Errorf("netem: tc reorder jitter %v is negative", tc.ReorderJitter)
+	}
+	return nil
+}
+
 // EthernetLAN returns the paper's wired testbed: phone → USB-Ethernet NIC
 // (1 Gbps) → OpenWRT router (1 Gbps) → server, sub-millisecond base RTT.
 // tc impairments apply to the router hop, as in the paper.
-func EthernetLAN(eng *sim.Engine, tc TC) *Path {
+func EthernetLAN(eng *sim.Engine, tc TC) (*Path, error) {
+	if err := tc.Validate(); err != nil {
+		return nil, err
+	}
 	routerRate := units.Gbps
 	if tc.Rate > 0 {
 		routerRate = tc.Rate
@@ -69,7 +96,10 @@ func EthernetLAN(eng *sim.Engine, tc TC) *Path {
 // the OpenWRT access point. The air link is slower than wire, varies over
 // time, and adds jitter; see NewWiFiModulator. tc impairments apply to the
 // router hop.
-func WiFiLAN(eng *sim.Engine, tc TC) (*Path, *WiFiModulator) {
+func WiFiLAN(eng *sim.Engine, tc TC) (*Path, *WiFiModulator, error) {
+	if err := tc.Validate(); err != nil {
+		return nil, nil, err
+	}
 	routerQueue := 256
 	if tc.QueuePackets > 0 {
 		routerQueue = tc.QueuePackets
@@ -78,7 +108,7 @@ func WiFiLAN(eng *sim.Engine, tc TC) (*Path, *WiFiModulator) {
 	if tc.Rate > 0 && tc.Rate < airRate {
 		airRate = tc.Rate
 	}
-	path := NewPath(eng, PathConfig{
+	path, err := NewPath(eng, PathConfig{
 		Hops: []PipeConfig{
 			{
 				Name:         "air",
@@ -96,8 +126,11 @@ func WiFiLAN(eng *sim.Engine, tc TC) (*Path, *WiFiModulator) {
 		},
 		AckDelay: 900 * time.Microsecond,
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	mod := NewWiFiModulator(eng, path.Hop(0), airRate)
-	return path, mod
+	return path, mod, nil
 }
 
 // Cellular5G returns the forward-looking scenario both §4 and Appendix A.1
@@ -105,7 +138,10 @@ func WiFiLAN(eng *sim.Engine, tc TC) (*Path, *WiFiModulator) {
 // Narayanan et al.) with lower radio latency than LTE. At these rates the
 // phone's CPU — not the link — becomes the bottleneck again, so the pacing
 // problems the LTE experiment hides are expected to reappear.
-func Cellular5G(eng *sim.Engine, tc TC) *Path {
+func Cellular5G(eng *sim.Engine, tc TC) (*Path, error) {
+	if err := tc.Validate(); err != nil {
+		return nil, err
+	}
 	rate := 200 * units.Mbps
 	if tc.Rate > 0 {
 		rate = tc.Rate
@@ -138,7 +174,10 @@ func Cellular5G(eng *sim.Engine, tc TC) *Path {
 // radio link is bandwidth-limited (≈15–20 Mbps), has tens of milliseconds
 // of latency, and deep (bufferbloat-prone) eNodeB buffers — so the phone's
 // CPU is never the bottleneck, which is exactly the paper's point.
-func CellularLTE(eng *sim.Engine, tc TC) *Path {
+func CellularLTE(eng *sim.Engine, tc TC) (*Path, error) {
+	if err := tc.Validate(); err != nil {
+		return nil, err
+	}
 	rate := 18 * units.Mbps
 	if tc.Rate > 0 {
 		rate = tc.Rate

@@ -1,0 +1,245 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mobbr/internal/core"
+	"mobbr/internal/device"
+	"mobbr/internal/faults"
+	"mobbr/internal/iperf"
+	"mobbr/internal/stats"
+	"mobbr/internal/units"
+)
+
+// The recovery experiment extends the paper's mobility discussion (§7.2,
+// Appendix A.1): phones do not sit one meter from an access point — links
+// black out in elevators and tunnels and hand over between LTE and WiFi.
+// It measures how long each congestion control needs to regain its
+// pre-fault goodput after the link returns, with the invariant checker
+// armed throughout.
+
+// RecoveryFault names the injected fault pattern.
+type RecoveryFault string
+
+// Recovery faults.
+const (
+	// FaultBlackout is a 2 s total outage on the LTE radio link.
+	FaultBlackout RecoveryFault = "blackout"
+	// FaultHandover is a hard LTE→WiFi vertical handover: a 200 ms dead
+	// gap, then the link comes back ~33× faster with ~30× lower delay.
+	FaultHandover RecoveryFault = "handover"
+)
+
+// Recovery timing constants (virtual time).
+const (
+	// RecoveryDuration is the per-run transfer time; the fault hits at
+	// recoveryFaultStart, leaving several seconds to measure recovery.
+	RecoveryDuration = 10 * time.Second
+	// RecoveryWarmup excludes the initial ramp from the pre-fault
+	// baseline.
+	RecoveryWarmup = time.Second
+	// RecoveryInterval is the iperf3-style reporting granularity the
+	// recovery time is measured at.
+	RecoveryInterval = 100 * time.Millisecond
+
+	recoveryFaultStart = 3 * time.Second
+	recoveryBlackout   = 2 * time.Second
+	recoveryOutage     = 200 * time.Millisecond
+)
+
+// recoveryThreshold is the fraction of pre-fault goodput that counts as
+// "recovered" (90%).
+const recoveryThreshold = 0.9
+
+// RecoveryPoint is one cell of the recovery experiment.
+type RecoveryPoint struct {
+	// Label names the cell, e.g. "bbr blackout Low-End".
+	Label string
+	// CC is the congestion control under test.
+	CC string
+	// Fault is the injected pattern.
+	Fault RecoveryFault
+	// FaultEnd is when the link is back (recovery time is counted from
+	// here).
+	FaultEnd time.Duration
+	// Spec is the ready-to-run experiment (faults installed, checker on).
+	Spec core.Spec
+}
+
+// RecoveryExperiment is the fault-recovery counterpart of Experiment; it
+// needs its own runner because the metric (time back to 90% of pre-fault
+// goodput) comes from the interval series, not the whole-run means.
+type RecoveryExperiment struct {
+	ID     string
+	Title  string
+	Points []RecoveryPoint
+}
+
+// recoverySchedule builds the fault schedule for one pattern on the LTE
+// radio hop (hop 0).
+func recoverySchedule(f RecoveryFault) (faults.Schedule, time.Duration) {
+	switch f {
+	case FaultHandover:
+		return faults.Schedule{Events: []faults.Event{
+			faults.Handover{
+				At:     recoveryFaultStart,
+				Outage: recoveryOutage,
+				Rate:   600 * units.Mbps,
+				Delay:  800 * time.Microsecond,
+			},
+		}}, recoveryFaultStart + recoveryOutage
+	default: // FaultBlackout
+		return faults.Schedule{Events: []faults.Event{
+			faults.Blackout{Start: recoveryFaultStart, Duration: recoveryBlackout},
+		}}, recoveryFaultStart + recoveryBlackout
+	}
+}
+
+// Recovery returns the fault-recovery experiment: BBR vs BBRv2 vs Cubic
+// through a 2 s blackout and an LTE→WiFi handover, on the Low-End and
+// Default CPU configurations, single connection over the LTE uplink.
+func Recovery() RecoveryExperiment {
+	var pts []RecoveryPoint
+	for _, cfg := range []device.Config{device.LowEnd, device.Default} {
+		for _, fault := range []RecoveryFault{FaultBlackout, FaultHandover} {
+			for _, ccName := range []string{"bbr", "bbr2", "cubic"} {
+				sched, end := recoverySchedule(fault)
+				s := core.Spec{
+					Device:   device.Pixel4,
+					CPU:      cfg,
+					CC:       ccName,
+					Conns:    1,
+					Network:  core.Cellular,
+					Duration: RecoveryDuration,
+					Warmup:   RecoveryWarmup,
+					Interval: RecoveryInterval,
+					Faults:   sched,
+					Check:    true,
+				}
+				pts = append(pts, RecoveryPoint{
+					Label:    fmt.Sprintf("%s %s %s", ccName, fault, cfg),
+					CC:       ccName,
+					Fault:    fault,
+					FaultEnd: end,
+					Spec:     s,
+				})
+			}
+		}
+	}
+	return RecoveryExperiment{
+		ID:     "recovery",
+		Title:  "Goodput recovery after blackout and LTE→WiFi handover (§7.2 extension)",
+		Points: pts,
+	}
+}
+
+// RecoveryRow is the measured outcome of one recovery point.
+type RecoveryRow struct {
+	Point RecoveryPoint
+	// PreFaultMbps is the seed-mean goodput over [warmup, fault start).
+	PreFaultMbps float64
+	// RecoveryMs is the seed-mean time from link return to the first
+	// reporting interval at ≥ 90% of the pre-fault goodput. Censored at
+	// run end for seeds that never recover.
+	RecoveryMs float64
+	// RecoveryCI is the 95% confidence half-width of RecoveryMs.
+	RecoveryCI float64
+	// Recovered is how many of the seeds regained 90% before run end.
+	Recovered int
+	// Seeds is the number of seeds run.
+	Seeds int
+	// SpuriousRTOs is the seed-mean count of F-RTO-detected spurious
+	// timeouts (expected after the blackout's first ACK returns).
+	SpuriousRTOs float64
+	// Retransmits is the seed-mean total retransmissions.
+	Retransmits float64
+}
+
+// recoveryTime extracts (pre-fault goodput, recovery time, recovered) from
+// one run's interval series.
+func recoveryTime(ivals []iperf.Interval, warmup, faultStart, faultEnd, dur time.Duration) (pre float64, rec time.Duration, ok bool) {
+	var preSum float64
+	var preN int
+	for _, iv := range ivals {
+		if iv.Start >= warmup && iv.End <= faultStart {
+			preSum += float64(iv.Goodput)
+			preN++
+		}
+	}
+	if preN == 0 {
+		return 0, dur - faultEnd, false
+	}
+	pre = preSum / float64(preN)
+	target := recoveryThreshold * pre
+	for _, iv := range ivals {
+		if iv.Start >= faultEnd && float64(iv.Goodput) >= target {
+			return pre, iv.End - faultEnd, true
+		}
+	}
+	return pre, dur - faultEnd, false
+}
+
+// RecoveryTime extracts (pre-fault goodput in bit/s, recovery time,
+// recovered before run end) for this point from one run's interval series.
+func (p RecoveryPoint) RecoveryTime(ivals []iperf.Interval) (pre float64, rec time.Duration, ok bool) {
+	return recoveryTime(ivals, p.Spec.Warmup, recoveryFaultStart, p.FaultEnd, p.Spec.Duration)
+}
+
+// RunRecovery executes every point across seeds and computes the rows.
+// Runs are deterministic per seed: same seeds, same rows.
+func RunRecovery(e RecoveryExperiment, seeds int) ([]RecoveryRow, error) {
+	if seeds <= 0 {
+		seeds = 1
+	}
+	rows := make([]RecoveryRow, 0, len(e.Points))
+	for _, p := range e.Points {
+		var (
+			pre, spurious, retx stats.Online
+			recMs               stats.Online
+			recovered           int
+		)
+		for s := 0; s < seeds; s++ {
+			spec := p.Spec
+			spec.Seed = int64(1 + s)
+			res, err := core.Run(spec)
+			if err != nil {
+				return nil, fmt.Errorf("repro %s/%s seed %d: %w", e.ID, p.Label, spec.Seed, err)
+			}
+			preG, rec, ok := recoveryTime(res.Report.Intervals,
+				spec.Warmup, recoveryFaultStart, p.FaultEnd, spec.Duration)
+			pre.Add(preG)
+			recMs.Add(float64(rec) / 1e6)
+			if ok {
+				recovered++
+			}
+			spurious.Add(float64(res.Report.SpuriousRTOs))
+			retx.Add(float64(res.Report.Retransmits))
+		}
+		rows = append(rows, RecoveryRow{
+			Point:        p,
+			PreFaultMbps: pre.Mean() / 1e6,
+			RecoveryMs:   recMs.Mean(),
+			RecoveryCI:   recMs.CI95(),
+			Recovered:    recovered,
+			Seeds:        seeds,
+			SpuriousRTOs: spurious.Mean(),
+			Retransmits:  retx.Mean(),
+		})
+	}
+	return rows, nil
+}
+
+// PrintRecovery writes the rows as an aligned table.
+func PrintRecovery(w io.Writer, e RecoveryExperiment, rows []RecoveryRow) {
+	fmt.Fprintf(w, "== %s: %s\n", e.ID, e.Title)
+	fmt.Fprintf(w, "%-28s %10s %12s %7s %10s %9s %9s\n",
+		"point", "pre Mbps", "recovery ms", "±CI", "recovered", "spurious", "retx")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s %10.1f %12.0f %7.0f %7d/%-2d %9.1f %9.0f\n",
+			r.Point.Label, r.PreFaultMbps, r.RecoveryMs, r.RecoveryCI,
+			r.Recovered, r.Seeds, r.SpuriousRTOs, r.Retransmits)
+	}
+	fmt.Fprintln(w)
+}

@@ -83,6 +83,48 @@ func (h *eventHeap) Pop() any {
 	return it
 }
 
+// Limits bounds a run so a mis-wired experiment terminates with a
+// diagnostic instead of looping forever. The zero value means unlimited.
+type Limits struct {
+	// MaxEvents stops the run after this many events have executed.
+	MaxEvents uint64
+	// WallClock stops the run after this much real (host) time.
+	WallClock time.Duration
+}
+
+// LimitError reports that a run hit its event or wall-clock budget. It
+// carries enough context to diagnose the runaway: the virtual time the
+// engine reached, the time of the last-scheduled event, and the queue depth.
+type LimitError struct {
+	// Reason is "max-events" or "wall-clock".
+	Reason string
+	// Processed is the number of events executed when the budget tripped.
+	Processed uint64
+	// Now is the virtual time reached.
+	Now time.Duration
+	// LastScheduled is the virtual time of the most recently scheduled
+	// event — where the runaway chain was headed.
+	LastScheduled time.Duration
+	// Pending is the number of events still queued.
+	Pending int
+	// Elapsed is the real time spent (set for wall-clock trips).
+	Elapsed time.Duration
+}
+
+// Error implements error.
+func (e *LimitError) Error() string {
+	if e.Reason == "wall-clock" {
+		return fmt.Sprintf("sim: wall-clock budget exceeded after %v (virtual time %v, %d events, last event scheduled at %v, %d pending)",
+			e.Elapsed, e.Now, e.Processed, e.LastScheduled, e.Pending)
+	}
+	return fmt.Sprintf("sim: event budget exceeded after %d events (virtual time %v, last event scheduled at %v, %d pending)",
+		e.Processed, e.Now, e.LastScheduled, e.Pending)
+}
+
+// wallCheckEvery is how many events run between wall-clock checks; reading
+// the host clock per event would dominate the hot loop.
+const wallCheckEvery = 8192
+
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with New.
 type Engine struct {
@@ -92,11 +134,65 @@ type Engine struct {
 	rng    *rand.Rand
 	// processed counts events executed, useful for runaway detection in tests.
 	processed uint64
+
+	limits        Limits
+	wallStart     time.Time
+	lastScheduled time.Duration
+	limitErr      *LimitError
 }
 
 // New returns an Engine whose random source is seeded with seed.
 func New(seed int64) *Engine {
 	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetLimits installs an event/wall-clock budget. The wall clock starts
+// counting when SetLimits is called. Zero fields are unlimited.
+func (e *Engine) SetLimits(l Limits) {
+	e.limits = l
+	e.wallStart = time.Now()
+	e.limitErr = nil
+}
+
+// LimitErr returns the budget violation that stopped the run, or nil. Once
+// the budget trips, Step and Run execute no further events until SetLimits
+// is called again.
+func (e *Engine) LimitErr() error {
+	if e.limitErr == nil {
+		return nil
+	}
+	return e.limitErr
+}
+
+// overBudget checks the limits and records a LimitError on the first trip.
+func (e *Engine) overBudget() bool {
+	if e.limitErr != nil {
+		return true
+	}
+	if e.limits.MaxEvents > 0 && e.processed >= e.limits.MaxEvents {
+		e.limitErr = &LimitError{
+			Reason:        "max-events",
+			Processed:     e.processed,
+			Now:           e.now,
+			LastScheduled: e.lastScheduled,
+			Pending:       e.Pending(),
+		}
+		return true
+	}
+	if e.limits.WallClock > 0 && e.processed%wallCheckEvery == 0 {
+		if elapsed := time.Since(e.wallStart); elapsed > e.limits.WallClock {
+			e.limitErr = &LimitError{
+				Reason:        "wall-clock",
+				Processed:     e.processed,
+				Now:           e.now,
+				LastScheduled: e.lastScheduled,
+				Pending:       e.Pending(),
+				Elapsed:       elapsed,
+			}
+			return true
+		}
+	}
+	return false
 }
 
 // Now returns the current virtual time, measured from the start of the run.
@@ -120,6 +216,7 @@ func (e *Engine) Schedule(delay time.Duration, fn Event) *Timer {
 	it := &eventItem{at: e.now + delay, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.events, it)
+	e.lastScheduled = it.at
 	return &Timer{eng: e, item: it}
 }
 
@@ -130,7 +227,12 @@ func (e *Engine) ScheduleAt(at time.Duration, fn Event) *Timer {
 }
 
 // Step executes the next pending event. It reports whether an event ran.
+// Once the engine's budget (SetLimits) has tripped, Step runs nothing and
+// returns false; inspect LimitErr.
 func (e *Engine) Step() bool {
+	if e.overBudget() {
+		return false
+	}
 	for len(e.events) > 0 {
 		it := heap.Pop(&e.events).(*eventItem)
 		if it.cancelled {
@@ -163,7 +265,11 @@ func (e *Engine) Run(end time.Duration) {
 		if next.at > end {
 			break
 		}
-		e.Step()
+		if !e.Step() {
+			// Budget tripped; stop without advancing the clock so the
+			// diagnostic reflects where the run actually got to.
+			return
+		}
 	}
 	if e.now < end {
 		e.now = end

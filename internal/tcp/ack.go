@@ -30,6 +30,7 @@ func (c *Conn) processAck(a *seg.Ack) {
 	}
 	now := c.eng.Now()
 	priorInflight := c.inflight
+	priorUna := c.sndUna
 
 	rs := cc.RateSample{Delivered: -1, Interval: -1, RTT: -1}
 	var (
@@ -84,6 +85,7 @@ func (c *Conn) processAck(a *seg.Ack) {
 
 	if deliveredPkt > 0 {
 		c.deliveredTime = now
+		c.lastProgress = now
 		// The rtx-queue walk frees one scoreboard entry per covered
 		// packet (tcp_clean_rtx_queue); charge it now — the latency
 		// lands on whatever work queues behind this ACK.
@@ -96,6 +98,21 @@ func (c *Conn) processAck(a *seg.Ack) {
 		if rtt := now - a.EchoSentAt; rtt > 0 {
 			c.updateRTT(rtt)
 			rs.RTT = rtt
+		}
+	}
+
+	// F-RTO-style spurious-timeout detection: if the first forward
+	// progress after an RTO is an ACK echoing an original (never
+	// retransmitted) packet sent before the timeout, the original was
+	// merely delayed — the timeout was spurious. Undo the collapse.
+	// Progress driven by a retransmission proves the timeout genuine and
+	// invalidates the snapshot.
+	if c.undoValid && a.CumAck > priorUna {
+		if c.state == cc.StateLoss && !a.EchoRetx &&
+			a.EchoSentAt > 0 && a.EchoSentAt < c.undoAt {
+			c.undoSpuriousRTO()
+		} else {
+			c.undoValid = false
 		}
 	}
 
@@ -126,6 +143,7 @@ func (c *Conn) processAck(a *seg.Ack) {
 	}
 	if c.state != cc.StateOpen && a.CumAck >= c.recoveryPoint {
 		c.state = cc.StateOpen
+		c.undoValid = false
 		c.ccMod.OnEvent(c, cc.EventExitRecovery)
 	}
 
@@ -177,6 +195,24 @@ func (c *Conn) processAck(a *seg.Ack) {
 	// then the ACK clock triggers a send attempt.
 	c.appPump()
 	c.trySend()
+}
+
+// undoSpuriousRTO restores the pre-timeout cwnd/ssthresh, un-condemns the
+// never-retransmitted entries (their originals are still in flight), and
+// tells the congestion module — tcp_try_undo_recovery for the RTO case.
+func (c *Conn) undoSpuriousRTO() {
+	c.undoValid = false
+	c.spuriousRTOs++
+	for range c.board.undoLost() {
+		c.inflight++
+		c.lostTotal--
+	}
+	if c.undoCwnd > c.cwnd {
+		c.SetCwnd(c.undoCwnd)
+	}
+	c.ssthresh = c.undoSsthresh
+	c.state = cc.StateOpen
+	c.ccMod.OnEvent(c, cc.EventSpuriousRTO)
 }
 
 // updateRTT applies RFC 6298 smoothing and feeds the min-RTT filter. The

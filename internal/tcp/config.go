@@ -37,6 +37,15 @@ type Config struct {
 	// (defaults 200 ms / 60 s, per the Linux defaults).
 	MinRTO time.Duration
 	MaxRTO time.Duration
+	// MaxRetries is how many consecutive RTOs (without any forward ACK
+	// progress) the connection tolerates before it is declared dead and
+	// reported through Err — the analogue of tcp_retries2 (default 15).
+	MaxRetries int
+	// StallTimeout arms the per-connection watchdog: if the connection
+	// has outstanding work but makes no delivery progress for this long,
+	// it is declared dead and reported through Err instead of spinning
+	// forever. Default 30 s; negative disables the watchdog.
+	StallTimeout time.Duration
 	// DupThresh is the SACK/dupack reordering threshold (default 3).
 	DupThresh int
 	// Pacing configures the internal pacer. Pacing.Enabled is forced on
@@ -77,6 +86,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRTO <= 0 {
 		c.MaxRTO = 60 * time.Second
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 15
+	}
+	if c.StallTimeout == 0 {
+		c.StallTimeout = 30 * time.Second
 	}
 	if c.DupThresh <= 0 {
 		c.DupThresh = 3

@@ -73,6 +73,20 @@ type Conn struct {
 	started     bool
 	done        bool
 
+	// Hardened-recovery state.
+	segsSent     int64         // new-data segments ever created
+	lastSendAt   time.Duration // last (re)transmission release
+	lastProgress time.Duration // last delivery progress (watchdog)
+	watchdog     *sim.Timer
+	failedErr    error // non-nil once the connection is declared dead
+	spuriousRTOs int64
+	idleRestarts int64
+	// F-RTO undo snapshot, taken at the first RTO of a backoff run.
+	undoValid    bool
+	undoCwnd     int
+	undoSsthresh int
+	undoAt       time.Duration
+
 	appSent int64 // bytes handed to the network so far (for AppBytes limit)
 
 	// Application-source pipeline (when appCPU is set): the sender task
@@ -132,6 +146,8 @@ func (c *Conn) Start() {
 	}
 	c.started = true
 	c.eng.Schedule(c.cfg.StartDelay, func() {
+		c.lastProgress = c.eng.Now()
+		c.armWatchdog()
 		c.appPump()
 		c.trySend()
 	})
@@ -187,6 +203,52 @@ func (c *Conn) Stop() {
 	if c.pacingTimer != nil {
 		c.pacingTimer.Stop()
 	}
+	if c.watchdog != nil {
+		c.watchdog.Stop()
+	}
+}
+
+// Err returns the reason the connection was declared dead (RTO retries
+// exhausted, watchdog stall), or nil while it is healthy. A dead connection
+// has stopped transmitting; the failure is reported, never panicked.
+func (c *Conn) Err() error { return c.failedErr }
+
+// fail declares the connection dead: it records the reason and halts all
+// activity. Idempotent.
+func (c *Conn) fail(err error) {
+	if c.done {
+		return
+	}
+	c.failedErr = err
+	c.Stop()
+}
+
+// watchdogInterval is how often the stall watchdog re-checks progress.
+const watchdogInterval = 500 * time.Millisecond
+
+// armWatchdog starts the periodic stall check.
+func (c *Conn) armWatchdog() {
+	if c.cfg.StallTimeout <= 0 || c.done {
+		return
+	}
+	c.watchdog = c.eng.Schedule(watchdogInterval, c.watchdogCheck)
+}
+
+// watchdogCheck declares the connection dead if it has outstanding work but
+// has made no delivery progress for StallTimeout — the recovery machinery
+// is wedged or the link never came back.
+func (c *Conn) watchdogCheck() {
+	if c.done {
+		return
+	}
+	idle := c.eng.Now() - c.lastProgress
+	hasWork := c.inflight > 0 || c.board.firstLost() != nil || c.appBacklogSegs() > 0
+	if hasWork && idle > c.cfg.StallTimeout {
+		c.fail(fmt.Errorf("tcp: conn %d stalled: no delivery progress for %v (inflight=%d cwnd=%d state=%v rto-backoff=%d)",
+			c.id, idle, c.inflight, c.cwnd, c.state, c.rtoBackoff))
+		return
+	}
+	c.armWatchdog()
 }
 
 // --- cc.Conn interface -----------------------------------------------------
@@ -305,6 +367,7 @@ func (c *Conn) trySend() {
 		c.eng.Schedule(250*time.Microsecond, c.trySend)
 		return
 	}
+	c.cwndRestartAfterIdle(now)
 	avail := c.cwnd - c.inflight
 	if avail <= 0 {
 		c.cwndLimited = true
@@ -353,6 +416,35 @@ func (c *Conn) trySend() {
 	c.cpu.Submit(cpumodel.OpSegXmit, float64(total)*costs.SegXmit, func() {
 		c.emit(paceFrom, retx, newSegs)
 	})
+}
+
+// cwndRestartAfterIdle is tcp_cwnd_restart (RFC 2861): a window validated
+// long ago says nothing about the path now, so after an idle period the
+// cwnd decays by half per idle RTO, floored at the restart window.
+func (c *Conn) cwndRestartAfterIdle(now time.Duration) {
+	if c.inflight != 0 || c.lastSendAt <= 0 {
+		return
+	}
+	rto := c.rto()
+	idle := now - c.lastSendAt
+	if idle <= rto {
+		return
+	}
+	restart := c.cfg.InitialCwnd
+	if c.cwnd < restart {
+		restart = c.cwnd
+	}
+	cwnd := c.cwnd
+	for ; idle > rto && cwnd > restart; idle -= rto {
+		cwnd >>= 1
+	}
+	if cwnd < restart {
+		cwnd = restart
+	}
+	if cwnd != c.cwnd {
+		c.cwnd = cwnd
+		c.idleRestarts++
+	}
 }
 
 // markAppLimited records that the sender ran out of application data, per
@@ -431,6 +523,7 @@ func (c *Conn) emit(paceFrom time.Duration, retx []*pktInfo, newSegs int) {
 		c.board.add(p)
 		c.sndNxt += int64(l)
 		c.appSent += int64(l)
+		c.segsSent++
 		c.inflight++
 		bytes += l
 		sent++
@@ -439,6 +532,7 @@ func (c *Conn) emit(paceFrom time.Duration, retx []*pktInfo, newSegs int) {
 	if sent == 0 {
 		return
 	}
+	c.lastSendAt = now
 	c.pacer.OnSKBSent(paceFrom, bytes, c.pacer.Rate(c.pacingRate))
 	if occ := units.DataSize(c.inflight) * c.cfg.MSS; occ > c.maxBufOcc {
 		c.maxBufOcc = occ
@@ -519,10 +613,28 @@ func (c *Conn) onRTOTimer() {
 }
 
 // enterLoss is tcp_enter_loss: everything unsacked is marked lost, the
-// congestion module is told, and the head is retransmitted.
+// congestion module is told, and the head is retransmitted. Consecutive
+// timeouts back the RTO off exponentially (rto() shifts by rtoBackoff) up to
+// MaxRetries, after which the connection is declared dead — reported, never
+// panicked.
 func (c *Conn) enterLoss() {
 	if c.done {
 		return
+	}
+	c.rtoBackoff++
+	if int(c.rtoBackoff) > c.cfg.MaxRetries {
+		c.fail(fmt.Errorf("tcp: conn %d gave up after %d consecutive RTOs (rto=%v inflight=%d sndUna=%d)",
+			c.id, c.cfg.MaxRetries, c.rto(), c.inflight, c.sndUna))
+		return
+	}
+	// F-RTO: snapshot cwnd/ssthresh at the first timeout of a backoff run
+	// so a later ACK of an original (non-retransmitted) packet can prove
+	// the timeout spurious and undo the collapse.
+	if !c.undoValid {
+		c.undoValid = true
+		c.undoCwnd = c.cwnd
+		c.undoSsthresh = c.ssthresh
+		c.undoAt = c.eng.Now()
 	}
 	newly := c.board.markAllLost()
 	for _, p := range newly {
@@ -532,7 +644,6 @@ func (c *Conn) enterLoss() {
 		}
 		c.lostTotal++
 	}
-	c.rtoBackoff++
 	c.state = cc.StateLoss
 	c.recoveryPoint = c.sndNxt
 	// The module snapshots ssthresh from the pre-collapse cwnd, then the
@@ -560,6 +671,9 @@ type ConnStats struct {
 	RTTSamples   int64
 	State        cc.State
 	PacerStats   pacing.Stats
+	SpuriousRTOs int64
+	IdleRestarts int64
+	Failed       error
 }
 
 // Stats returns a snapshot of the connection's counters.
@@ -580,8 +694,66 @@ func (c *Conn) Stats() ConnStats {
 		RTTSamples:   c.rttSample.N(),
 		State:        c.state,
 		PacerStats:   c.pacer.Stats(),
+		SpuriousRTOs: c.spuriousRTOs,
+		IdleRestarts: c.idleRestarts,
+		Failed:       c.failedErr,
 	}
 }
+
+// Audit is a consistency snapshot of the connection's bookkeeping for the
+// invariant checker: the counter view (Inflight, Delivered, SegsSent) next
+// to the ground truth recomputed by walking the scoreboard.
+type Audit struct {
+	ID     int
+	SndUna int64
+	SndNxt int64
+
+	// Counter view.
+	Inflight  int   // c.inflight counter
+	SegsSent  int64 // new-data segments ever created
+	Delivered int64 // packets cumulatively acked or SACKed
+
+	// Scoreboard walk (ground truth).
+	BoardInflight    int
+	BoardLostPending int
+	BoardSacked      int
+	BoardAcked       int
+	LiveBytes        int64 // sum of live entry lengths
+
+	Cwnd       int
+	Ssthresh   int
+	MaxCwnd    int
+	PacingRate units.Bandwidth
+	Failed     error
+}
+
+// Audit walks the scoreboard and returns the connection's bookkeeping
+// snapshot for invariant checking.
+func (c *Conn) Audit() Audit {
+	inflight, lostPending, sacked, acked, liveBytes := c.board.audit()
+	return Audit{
+		ID:               c.id,
+		SndUna:           c.sndUna,
+		SndNxt:           c.sndNxt,
+		Inflight:         c.inflight,
+		SegsSent:         c.segsSent,
+		Delivered:        c.delivered,
+		BoardInflight:    inflight,
+		BoardLostPending: lostPending,
+		BoardSacked:      sacked,
+		BoardAcked:       acked,
+		LiveBytes:        liveBytes,
+		Cwnd:             c.cwnd,
+		Ssthresh:         c.ssthresh,
+		MaxCwnd:          c.cfg.MaxCwnd,
+		PacingRate:       c.pacingRate,
+		Failed:           c.failedErr,
+	}
+}
+
+// CorruptInflightForTest deliberately skews the inflight counter so tests
+// can prove the invariant checker catches real accounting bugs. Test-only.
+func (c *Conn) CorruptInflightForTest(delta int) { c.inflight += delta }
 
 // String identifies the connection for debug output.
 func (c *Conn) String() string {

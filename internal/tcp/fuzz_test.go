@@ -1,0 +1,160 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzScoreboard drives random interleavings of the scoreboard operations —
+// send, cumulative ACK, SACK, RACK loss detection, RTO collapse, retransmit,
+// F-RTO undo — through a shadow model of the sender's counters, and checks
+// the audit invariants the sim-wide checker relies on after every step. Each
+// input byte encodes one operation; the high bits parameterise it.
+func FuzzScoreboard(f *testing.F) {
+	// Seed corpus: representative op sequences (send bursts, SACK holes,
+	// RTO + retransmit, RTO + undo). The last seed is the regression shape
+	// for the ordered-add guard: interleaved sends and cumulative ACKs
+	// compacting the ring while new segments append behind it.
+	f.Add([]byte{0, 0, 0, 0, 1})
+	f.Add([]byte{0, 0, 0, 0, 0, 2, 2, 3, 5, 1})
+	f.Add([]byte{0, 0, 0, 4, 5, 5, 1, 0, 0})
+	f.Add([]byte{0, 0, 0, 4, 6, 1, 0})
+	f.Add([]byte{0, 1, 0, 1, 0, 1, 0, 1, 0, 2, 4, 5, 1})
+
+	const mss = 1448
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+		var (
+			board     scoreboard
+			nextSeq   int64
+			cumAck    int64
+			now       = time.Millisecond
+			segsSent  int64
+			delivered int64
+			inflight  int64
+			lostTotal int64
+		)
+		deliver := func(p *pktInfo) {
+			if p.acked {
+				return
+			}
+			p.acked = true
+			if p.inFlite {
+				p.inFlite = false
+				inflight--
+			}
+			delivered++
+		}
+		for _, b := range ops {
+			arg := int(b >> 3)
+			now += 100 * time.Microsecond
+			switch b % 7 {
+			case 0: // send one new segment
+				board.add(&pktInfo{seq: nextSeq, len: mss, sentAt: now, inFlite: true})
+				nextSeq += mss
+				segsSent++
+				inflight++
+			case 1: // cumulative ACK covering arg+1 live entries
+				n := board.liveLen()
+				if n == 0 {
+					continue
+				}
+				k := arg % n
+				ack := board.at(k).end()
+				for _, p := range board.popAcked(ack) {
+					if p.sacked {
+						p.acked = true
+						continue
+					}
+					deliver(p)
+				}
+				cumAck = ack
+			case 2: // SACK a block of live entries above the hole
+				n := board.liveLen()
+				if n < 2 {
+					continue
+				}
+				i := 1 + arg%(n-1) // never SACK the first hole
+				j := i + 1 + arg%3
+				if j > n {
+					j = n
+				}
+				for _, p := range board.markSacked(board.at(i).seq, board.at(j-1).end()) {
+					deliver(p)
+				}
+			case 3: // RACK/dupack loss detection
+				for _, p := range board.detectLosses(3, time.Duration(arg)*time.Millisecond) {
+					if p.inFlite {
+						p.inFlite = false
+						inflight--
+					}
+					lostTotal++
+				}
+			case 4: // RTO: condemn everything outstanding
+				for _, p := range board.markAllLost() {
+					if p.inFlite {
+						p.inFlite = false
+						inflight--
+					}
+					lostTotal++
+				}
+			case 5: // retransmit the first lost segment
+				if p := board.firstLost(); p != nil {
+					p.retx = true
+					p.sentAt = now
+					p.inFlite = true
+					inflight++
+				}
+			case 6: // F-RTO undo: never-retransmitted condemned entries fly again
+				for range board.undoLost() {
+					inflight++
+					lostTotal--
+				}
+			}
+
+			aInfl, aLost, aSacked, aAcked, liveBytes := board.audit()
+			if int64(aInfl) != inflight {
+				t.Fatalf("inflight: counter %d, board %d", inflight, aInfl)
+			}
+			if aInfl+aLost+aSacked+aAcked != board.liveLen() {
+				t.Fatalf("audit classes %d+%d+%d+%d != live %d",
+					aInfl, aLost, aSacked, aAcked, board.liveLen())
+			}
+			if liveBytes != nextSeq-cumAck {
+				t.Fatalf("live bytes %d != sndNxt-sndUna %d", liveBytes, nextSeq-cumAck)
+			}
+			// SACKed entries are delivered on arrival but stay live until
+			// the cumulative ACK pops them, so the conserved quantity is
+			// sent == delivered + in-flight + lost-pending (the sim-wide
+			// checker's conservation/packets rule).
+			if segsSent != delivered+int64(aInfl+aLost) {
+				t.Fatalf("conservation: sent %d != delivered %d + inflight %d + lost %d",
+					segsSent, delivered, aInfl, aLost)
+			}
+			if lostTotal < 0 || inflight < 0 {
+				t.Fatalf("negative counters: inflight %d lost %d", inflight, lostTotal)
+			}
+			// firstLost and lostPending must agree.
+			if p := board.firstLost(); p != nil {
+				lp := board.lostPending(1)
+				if len(lp) != 1 || lp[0] != p {
+					t.Fatalf("firstLost/lostPending disagree")
+				}
+			} else if len(board.lostPending(1)) != 0 {
+				t.Fatalf("lostPending nonempty but firstLost nil")
+			}
+			// Per-entry sanity: live seq range ordered and contiguous.
+			for i := 1; i < board.liveLen(); i++ {
+				if board.at(i).seq != board.at(i-1).end() {
+					t.Fatalf("gap between live entries %d and %d", i-1, i)
+				}
+			}
+			if board.liveLen() > 0 && board.at(0).seq < cumAck {
+				t.Fatalf("live entry below cumulative ACK")
+			}
+		}
+	})
+}

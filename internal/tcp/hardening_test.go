@@ -1,0 +1,176 @@
+package tcp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mobbr/internal/cc"
+	"mobbr/internal/netem"
+	"mobbr/internal/units"
+)
+
+// TestRTOBackoffExponential: under total loss each successive timeout must
+// wait roughly twice as long as the previous, clamped at MaxRTO.
+func TestRTOBackoffExponential(t *testing.T) {
+	stub := &stubCC{cwnd: 10}
+	h := newHarness(t, Config{AppBytes: 64 * units.KB, MaxRTO: 3 * time.Second},
+		stub, netem.TC{Loss: 1.0})
+	h.conn.Start()
+	var fires []time.Duration
+	var last uint
+	for h.eng.Now() < 20*time.Second && h.eng.Step() {
+		if h.conn.rtoBackoff > last {
+			last = h.conn.rtoBackoff
+			fires = append(fires, h.eng.Now())
+		}
+	}
+	if len(fires) < 5 {
+		t.Fatalf("only %d RTOs in 20 s of total loss", len(fires))
+	}
+	prev := time.Duration(0)
+	for i := 1; i < len(fires); i++ {
+		gap := fires[i] - fires[i-1]
+		if gap > 3*time.Second+500*time.Millisecond {
+			t.Errorf("RTO %d waited %v, above the 3 s MaxRTO clamp", i, gap)
+		}
+		if prev > 0 && gap < prev {
+			t.Errorf("RTO %d gap %v shrank below previous %v (backoff must not shorten)",
+				i, gap, prev)
+		}
+		// Before the clamp kicks in each gap must grow close to 2×.
+		if prev > 0 && prev < 1200*time.Millisecond && float64(gap) < 1.8*float64(prev) {
+			t.Errorf("RTO %d gap %v is not ~2× previous %v", i, gap, prev)
+		}
+		prev = gap
+	}
+}
+
+// TestRTOMaxRetriesGivesUp: after MaxRetries consecutive timeouts with no
+// forward progress the connection must report a structured failure, not
+// retry forever and not panic.
+func TestRTOMaxRetriesGivesUp(t *testing.T) {
+	stub := &stubCC{cwnd: 10}
+	h := newHarness(t, Config{AppBytes: 64 * units.KB, MaxRetries: 4},
+		stub, netem.TC{Loss: 1.0})
+	h.conn.Start()
+	h.eng.Run(60 * time.Second)
+	err := h.conn.Err()
+	if err == nil {
+		t.Fatal("connection never gave up under total loss with MaxRetries=4")
+	}
+	if !strings.Contains(err.Error(), "gave up") {
+		t.Errorf("unexpected failure reason: %v", err)
+	}
+	if st := h.conn.Stats(); st.Failed == nil {
+		t.Error("Stats().Failed not set")
+	}
+}
+
+// TestWatchdogReportsStall: the stall watchdog must flag a connection that
+// has pending work but makes no delivery progress, well before the RTO
+// retry budget runs out.
+func TestWatchdogReportsStall(t *testing.T) {
+	stub := &stubCC{cwnd: 10}
+	h := newHarness(t, Config{AppBytes: 64 * units.KB, MaxRetries: 100,
+		StallTimeout: time.Second}, stub, netem.TC{Loss: 1.0})
+	h.conn.Start()
+	h.eng.Run(10 * time.Second)
+	err := h.conn.Err()
+	if err == nil {
+		t.Fatal("watchdog never fired on a stalled connection")
+	}
+	if !strings.Contains(err.Error(), "stalled") {
+		t.Errorf("unexpected failure reason: %v", err)
+	}
+}
+
+// TestSpuriousRTOUndo: a link pause longer than the RTO delays — but does
+// not drop — the outstanding window. The first ACK after resume echoes an
+// original transmission sent before the timeout, so F-RTO must undo the
+// collapse, notify the CC, and the transfer must still complete in full.
+func TestSpuriousRTOUndo(t *testing.T) {
+	stub := &stubCC{cwnd: 10}
+	// Shape the path to ~20 Mbps / 20 ms so the 256KB transfer is still in
+	// flight when the pause hits.
+	h := newHarness(t, Config{AppBytes: 256 * units.KB}, stub,
+		netem.TC{Rate: 20 * units.Mbps, Delay: 20 * time.Millisecond})
+	h.eng.Schedule(50*time.Millisecond, func() { h.path.Hop(0).Pause() })
+	h.eng.Schedule(1050*time.Millisecond, func() { h.path.Hop(0).Resume() })
+	h.conn.Start()
+	h.eng.Run(10 * time.Second)
+
+	st := h.conn.Stats()
+	if st.SpuriousRTOs == 0 {
+		t.Fatal("1 s pause > RTO produced no spurious-RTO undo")
+	}
+	found := false
+	for _, ev := range h.stub.events {
+		if ev == cc.EventSpuriousRTO {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("CC never notified of the spurious RTO")
+	}
+	if got := h.rx.GoodBytes(); got != 256*units.KB {
+		t.Errorf("delivered %v after pause/resume, want full 256KB", got)
+	}
+	if err := h.conn.Err(); err != nil {
+		t.Errorf("healthy pause/resume marked the conn failed: %v", err)
+	}
+}
+
+// TestGenuineRTONotUndone: under real loss (everything dropped, nothing
+// delayed) recovery is driven by retransmissions, so F-RTO must NOT undo.
+func TestGenuineRTONotUndone(t *testing.T) {
+	stub := &stubCC{cwnd: 10}
+	h := newHarness(t, Config{AppBytes: 64 * units.KB}, stub, netem.TC{})
+	// Drop (not hold) the first flight: 100% loss for the first 300 ms.
+	if err := h.path.Hop(0).SetLoss(1.0); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.Schedule(300*time.Millisecond, func() { _ = h.path.Hop(0).SetLoss(0) })
+	h.conn.Start()
+	h.eng.Run(10 * time.Second)
+	if st := h.conn.Stats(); st.SpuriousRTOs != 0 {
+		t.Errorf("genuine loss-driven RTO was undone %d times", st.SpuriousRTOs)
+	}
+	if got := h.rx.GoodBytes(); got != 64*units.KB {
+		t.Errorf("delivered %v, want full 64KB", got)
+	}
+}
+
+// TestCwndRestartAfterIdle: RFC 2861 — after an idle period the window
+// decays one halving per idle RTO down to the restart window.
+func TestCwndRestartAfterIdle(t *testing.T) {
+	stub := &stubCC{cwnd: 64}
+	h := newHarness(t, Config{AppBytes: 64 * units.KB}, stub, netem.TC{})
+	h.conn.Start()
+	h.eng.Run(2 * time.Second) // transfer completes; connection sits idle
+	c := h.conn
+	if c.inflight != 0 {
+		t.Fatalf("transfer not drained: inflight %d", c.inflight)
+	}
+	c.cwnd = 64
+	now := c.eng.Now()
+	c.lastSendAt = now - 4*c.rto() // four RTOs idle
+	c.cwndRestartAfterIdle(now)
+	if c.cwnd >= 64 {
+		t.Errorf("cwnd %d not reduced after 4 idle RTOs", c.cwnd)
+	}
+	if c.cwnd < c.cfg.InitialCwnd {
+		t.Errorf("cwnd %d decayed below the restart window %d", c.cwnd, c.cfg.InitialCwnd)
+	}
+	if c.idleRestarts == 0 {
+		t.Error("idle restart not counted")
+	}
+
+	// A short idle (under one RTO) must leave the window alone.
+	c.cwnd = 64
+	c.lastSendAt = now - c.rto()/2
+	c.cwndRestartAfterIdle(now)
+	if c.cwnd != 64 {
+		t.Errorf("cwnd %d changed after sub-RTO idle", c.cwnd)
+	}
+}

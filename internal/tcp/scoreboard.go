@@ -154,6 +154,48 @@ func (s *scoreboard) markAllLost() []*pktInfo {
 	return out
 }
 
+// undoLost clears the lost mark from entries that were condemned but never
+// retransmitted (F-RTO spurious-timeout undo: the originals are still in
+// flight) and returns them in sequence order.
+func (s *scoreboard) undoLost() []*pktInfo {
+	var out []*pktInfo
+	for i := 0; i < s.liveLen(); i++ {
+		p := s.at(i)
+		if p.lost && !p.retx && !p.inFlite && !p.acked && !p.sacked {
+			p.lost = false
+			p.inFlite = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// audit walks the live entries and classifies each into exactly one state,
+// for the invariant checker: in flight, lost awaiting retransmission,
+// SACKed awaiting cumulative ACK, or acked-but-not-yet-popped. It also sums
+// the live byte span.
+func (s *scoreboard) audit() (inflight, lostPending, sacked, acked int, liveBytes int64) {
+	for i := 0; i < s.liveLen(); i++ {
+		p := s.at(i)
+		liveBytes += int64(p.len)
+		switch {
+		case p.acked:
+			acked++
+		case p.sacked:
+			sacked++
+		case p.inFlite:
+			inflight++
+		case p.lost:
+			lostPending++
+		default:
+			// Neither acked, sacked, in flight nor lost: impossible by
+			// construction; counted as lost so the checker flags it.
+			lostPending++
+		}
+	}
+	return
+}
+
 // firstLost returns the lowest-sequence entry marked lost and not in
 // flight, or nil.
 func (s *scoreboard) firstLost() *pktInfo {

@@ -56,7 +56,10 @@ func newHarness(t *testing.T, cfg Config, stub *stubCC, tc netem.TC) *harness {
 	eng := sim.New(1)
 	// A fast CPU so transport tests are not CPU-bound.
 	cpu := cpumodel.NewCPU(eng, cpumodel.DefaultCosts(), 5e9)
-	path := netem.EthernetLAN(eng, tc)
+	path, err := netem.EthernetLAN(eng, tc)
+	if err != nil {
+		t.Fatalf("EthernetLAN: %v", err)
+	}
 	conn := NewConn(0, eng, cpu, path, cfg, func() cc.CongestionControl { return stub })
 	rx := NewReceiver(eng, path, conn)
 	demux := NewDemux()
@@ -258,7 +261,10 @@ func TestRTTInflatesUnderCPULoad(t *testing.T) {
 	run := func(speed float64) time.Duration {
 		eng := sim.New(1)
 		cpu := cpumodel.NewCPU(eng, cpumodel.DefaultCosts(), speed)
-		path := netem.EthernetLAN(eng, netem.TC{})
+		path, err := netem.EthernetLAN(eng, netem.TC{})
+		if err != nil {
+			t.Fatalf("EthernetLAN: %v", err)
+		}
 		stub := &stubCC{cwnd: 40}
 		conn := NewConn(0, eng, cpu, path, Config{}, func() cc.CongestionControl { return stub })
 		rx := NewReceiver(eng, path, conn)
@@ -375,7 +381,10 @@ func TestReceiverReassemblyExhaustive(t *testing.T) {
 	// Drive the receiver directly with a permuted arrival order.
 	eng := sim.New(1)
 	cpu := cpumodel.NewCPU(eng, cpumodel.DefaultCosts(), 1e9)
-	path := netem.EthernetLAN(eng, netem.TC{})
+	path, err := netem.EthernetLAN(eng, netem.TC{})
+	if err != nil {
+		t.Fatalf("EthernetLAN: %v", err)
+	}
 	stub := &stubCC{cwnd: 10}
 	conn := NewConn(7, eng, cpu, path, Config{}, func() cc.CongestionControl { return stub })
 	rx := NewReceiver(eng, path, conn)

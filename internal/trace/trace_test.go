@@ -18,8 +18,11 @@ import (
 func TestBBRModeTrajectory(t *testing.T) {
 	eng := sim.New(1)
 	cpu := cpumodel.NewCPU(eng, cpumodel.DefaultCosts(), 2.8e9)
-	path := netem.EthernetLAN(eng, netem.TC{})
-	sess := iperf.New(eng, cpu, path, iperf.Config{
+	path, err := netem.EthernetLAN(eng, netem.TC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := iperf.New(eng, cpu, path, iperf.Config{
 		Conns: 1, Duration: 3 * time.Second, TCP: tcp.Config{}, CC: bbr.Factory(),
 	})
 	rec := New(eng, sess.Conns(), time.Millisecond)
@@ -57,8 +60,11 @@ func TestBBRModeTrajectory(t *testing.T) {
 func TestSamplesMonotoneAndComplete(t *testing.T) {
 	eng := sim.New(2)
 	cpu := cpumodel.NewCPU(eng, cpumodel.DefaultCosts(), 2.8e9)
-	path := netem.EthernetLAN(eng, netem.TC{})
-	sess := iperf.New(eng, cpu, path, iperf.Config{
+	path, err := netem.EthernetLAN(eng, netem.TC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := iperf.New(eng, cpu, path, iperf.Config{
 		Conns: 3, Duration: time.Second, TCP: tcp.Config{}, CC: cubic.Factory(),
 	})
 	rec := New(eng, sess.Conns(), 100*time.Millisecond)
@@ -90,8 +96,11 @@ func TestSamplesMonotoneAndComplete(t *testing.T) {
 func TestWriteCSV(t *testing.T) {
 	eng := sim.New(3)
 	cpu := cpumodel.NewCPU(eng, cpumodel.DefaultCosts(), 2.8e9)
-	path := netem.EthernetLAN(eng, netem.TC{})
-	sess := iperf.New(eng, cpu, path, iperf.Config{
+	path, err := netem.EthernetLAN(eng, netem.TC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := iperf.New(eng, cpu, path, iperf.Config{
 		Conns: 1, Duration: 500 * time.Millisecond, TCP: tcp.Config{}, CC: bbr.Factory(),
 	})
 	rec := New(eng, sess.Conns(), 100*time.Millisecond)
@@ -129,8 +138,11 @@ func TestDefaultPeriod(t *testing.T) {
 func TestTraceOnDeviceStack(t *testing.T) {
 	eng := sim.New(5)
 	cpu, app := device.NewCPUs(eng, device.Pixel4, device.LowEnd)
-	path := netem.EthernetLAN(eng, netem.TC{})
-	sess := iperf.New(eng, cpu, path, iperf.Config{
+	path, err := netem.EthernetLAN(eng, netem.TC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := iperf.New(eng, cpu, path, iperf.Config{
 		Conns: 2, Duration: time.Second, TCP: tcp.Config{}, CC: bbr.Factory(), AppCPU: app,
 	})
 	rec := New(eng, sess.Conns(), 50*time.Millisecond)
