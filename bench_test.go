@@ -15,6 +15,7 @@ import (
 	"mobbr/internal/device"
 	"mobbr/internal/netem"
 	"mobbr/internal/repro"
+	"mobbr/internal/telemetry"
 	"mobbr/internal/units"
 )
 
@@ -184,6 +185,35 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		if _, err := core.Run(spec); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEngineOverhead measures what the telemetry layer costs: the same
+// heavy 20-connection run with telemetry disabled (the default nil-check-only
+// hot path) versus fully enabled (trace + metrics + profile). The disabled
+// variant is the PR 2 overhead contract: allocs/op must match the
+// pre-telemetry engine and wall time must stay within noise of it.
+func BenchmarkEngineOverhead(b *testing.B) {
+	base := core.Spec{CPU: device.HighEnd, CC: "cubic", Conns: 20,
+		Network: core.Ethernet, Duration: time.Second}
+	for _, bc := range []struct {
+		name string
+		tel  telemetry.Config
+	}{
+		{"disabled", telemetry.Config{}},
+		{"enabled", telemetry.Config{Trace: true, Metrics: true, Profile: true}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			spec := base
+			spec.Telemetry = bc.tel
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				spec.Seed = int64(i + 1)
+				if _, err := core.Run(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"mobbr/internal/repro"
+	"mobbr/internal/telemetry"
 )
 
 func main() {
@@ -23,7 +24,12 @@ func main() {
 	dur := flag.Duration("dur", repro.DefaultDuration, "simulated transfer duration per run")
 	seeds := flag.Int("seeds", repro.DefaultSeeds, "seeds per point")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	traceTo := flag.String("trace", "", "write the last point's last-seed telemetry events as JSONL to FILE (- = stdout)")
+	metrics := flag.Bool("metrics", false, "collect metrics and print the last point's snapshot + engine self-metrics")
+	profile := flag.Bool("profile", false, "profile CPU cycles and add the pace% column; prints the last point's table")
 	flag.Parse()
+
+	tel := telemetry.Config{Trace: *traceTo != "", Metrics: *metrics, Profile: *profile}
 
 	rec := repro.Recovery()
 	if *list {
@@ -61,16 +67,69 @@ func main() {
 		exps = []repro.Experiment{e}
 	}
 
+	var lastRows []repro.Row
 	for _, e := range exps {
-		rows, err := repro.RunExperiment(e, *dur, *seeds)
+		rows, err := repro.RunExperimentTelemetry(e, *dur, *seeds, tel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		repro.Print(os.Stdout, e, rows)
+		lastRows = rows
 	}
 	if *exp == "" {
 		runRecovery()
 	}
+	if tel.Any() && len(lastRows) > 0 {
+		writeTelemetry(lastRows[len(lastRows)-1], *traceTo, *metrics, *profile)
+	}
 	fmt.Printf("(wall time %v)\n", time.Since(start).Round(time.Millisecond))
+}
+
+// writeTelemetry emits the enabled observability outputs from one row's
+// sample run: JSONL trace, cycle-profile table, metrics + engine snapshot.
+func writeTelemetry(row repro.Row, traceTo string, metrics, profile bool) {
+	res := row.Sample
+	if res == nil {
+		return
+	}
+	if traceTo != "" && res.Events != nil {
+		w := os.Stdout
+		if traceTo != "-" {
+			f, err := os.Create(traceTo)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := res.Events.WriteJSONL(w); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if profile && res.Profile != nil {
+		fmt.Printf("cycle profile (%s, last seed):\n", row.Point.Label)
+		if err := res.Profile.WriteTable(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if metrics {
+		if res.Report != nil && res.Report.Metrics != nil {
+			fmt.Printf("metrics (%s, last seed):\n", row.Point.Label)
+			if err := res.Report.Metrics.Write(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if res.Engine != nil {
+			fmt.Println("engine self-metrics:")
+			if err := res.Engine.Write(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
 }

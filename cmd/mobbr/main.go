@@ -22,6 +22,7 @@ import (
 	"mobbr/internal/device"
 	"mobbr/internal/netem"
 	"mobbr/internal/repro"
+	"mobbr/internal/telemetry"
 	"mobbr/internal/units"
 )
 
@@ -49,15 +50,26 @@ func main() {
 		tcECN   = flag.Int("tc-ecn", 0, "router ECN marking threshold in packets (0 = off)")
 		seed    = flag.Int64("seed", 1, "base RNG seed")
 		expName = flag.String("exp", "", "run a named repro experiment instead (e.g. recovery; see mobbr-repro -list)")
+		traceTo = flag.String("trace", "", "write the last run's telemetry events as JSONL to FILE (- = stdout)")
+		metrics = flag.Bool("metrics", false, "collect and print the metrics registry and engine self-metrics")
+		profile = flag.Bool("profile", false, "print the cycle-attribution profile (core × phase × op)")
+		folded  = flag.String("folded", "", "write the cycle profile as folded stacks (flamegraph input) to FILE")
 	)
 	flag.Parse()
 
+	tel := telemetry.Config{
+		Trace:   *traceTo != "",
+		Metrics: *metrics,
+		Profile: *profile || *folded != "",
+	}
+
 	if *expName != "" {
-		runExperiment(*expName, *dur, *seeds)
+		runExperiment(*expName, *dur, *seeds, tel, *traceTo, *metrics, *profile, *folded)
 		return
 	}
 
 	spec := core.Spec{
+		Telemetry:      tel,
 		CC:             *ccName,
 		Conns:          *conns,
 		Duration:       *dur,
@@ -199,10 +211,67 @@ func main() {
 		}
 		fmt.Printf("  per-conn     %v … %v\n", min, max)
 	}
+	writeTelemetry(agg.Runs[len(agg.Runs)-1], *traceTo, *metrics, *profile, *folded)
+}
+
+// writeTelemetry emits the enabled observability outputs of one run: the
+// JSONL event trace, the metrics/engine snapshot, and the cycle profile as
+// a table and/or folded flamegraph stacks.
+func writeTelemetry(res *core.Result, traceTo string, metrics, profile bool, folded string) {
+	if res == nil {
+		return
+	}
+	if traceTo != "" && res.Events != nil {
+		w := os.Stdout
+		if traceTo != "-" {
+			f, err := os.Create(traceTo)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := res.Events.WriteJSONL(w); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		if n := res.Events.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "mobbr: trace dropped %d events past the buffer cap\n", n)
+		}
+	}
+	if profile && res.Profile != nil {
+		fmt.Println("cycle profile (last run):")
+		if err := res.Profile.WriteTable(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if folded != "" && res.Profile != nil {
+		f, err := os.Create(folded)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if err := res.Profile.WriteFolded(f); err != nil {
+			fatalf("writing folded stacks: %v", err)
+		}
+	}
+	if metrics {
+		if res.Report != nil && res.Report.Metrics != nil {
+			fmt.Println("metrics (last run):")
+			if err := res.Report.Metrics.Write(os.Stdout); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		if res.Engine != nil {
+			fmt.Println("engine self-metrics (last run):")
+			if err := res.Engine.Write(os.Stdout); err != nil {
+				fatalf("%v", err)
+			}
+		}
+	}
 }
 
 // runExperiment runs one repro experiment by id, like mobbr-repro -exp.
-func runExperiment(id string, dur time.Duration, seeds int) {
+func runExperiment(id string, dur time.Duration, seeds int, tel telemetry.Config, traceTo string, metrics, profile bool, folded string) {
 	if rec := repro.Recovery(); strings.EqualFold(id, rec.ID) {
 		rows, err := repro.RunRecovery(rec, seeds)
 		if err != nil {
@@ -215,11 +284,14 @@ func runExperiment(id string, dur time.Duration, seeds int) {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	rows, err := repro.RunExperiment(e, dur, seeds)
+	rows, err := repro.RunExperimentTelemetry(e, dur, seeds, tel)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	repro.Print(os.Stdout, e, rows)
+	if len(rows) > 0 {
+		writeTelemetry(rows[len(rows)-1].Sample, traceTo, metrics, profile, folded)
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -112,6 +112,10 @@ type BBR struct {
 	cwndGain   float64
 
 	initDone bool
+
+	// modeListener, when set, observes every state-machine transition
+	// (telemetry). nil costs only a nil-check per transition.
+	modeListener func(old, new string)
 }
 
 // New returns a fresh BBR instance.
@@ -150,6 +154,21 @@ func (b *BBR) AckCost() float64 { return ackCost }
 // Mode returns the current state-machine mode (for tests and tracing).
 func (b *BBR) Mode() Mode { return b.mode }
 
+// SetModeListener implements cc.ModeReporter.
+func (b *BBR) SetModeListener(fn func(old, new string)) { b.modeListener = fn }
+
+// setMode transitions the state machine, notifying the listener.
+func (b *BBR) setMode(m Mode) {
+	if m == b.mode {
+		return
+	}
+	old := b.mode
+	b.mode = m
+	if b.modeListener != nil {
+		b.modeListener(old.String(), m.String())
+	}
+}
+
 // BtlBw returns the current bottleneck-bandwidth estimate.
 func (b *BBR) BtlBw() units.Bandwidth {
 	return units.Bandwidth(b.bwFilter.Get() * 8)
@@ -163,7 +182,7 @@ func (b *BBR) FullPipe() bool { return b.fullPipe }
 
 // Init implements cc.CongestionControl.
 func (b *BBR) Init(conn cc.Conn) {
-	b.mode = Startup
+	b.setMode(Startup)
 	b.pacingGain = highGain
 	b.cwndGain = highGain
 	// Initial pacing rate from the initial window over a nominal 1 ms
@@ -259,7 +278,7 @@ func (b *BBR) checkFullPipe(rs *cc.RateSample) {
 
 func (b *BBR) checkDrain(conn cc.Conn) {
 	if b.mode == Startup && b.fullPipe {
-		b.mode = Drain
+		b.setMode(Drain)
 		b.pacingGain = drainGain
 		b.cwndGain = highGain
 	}
@@ -269,7 +288,7 @@ func (b *BBR) checkDrain(conn cc.Conn) {
 }
 
 func (b *BBR) enterProbeBW(conn cc.Conn) {
-	b.mode = ProbeBW
+	b.setMode(ProbeBW)
 	b.cwndGain = cwndGainDefault
 	// Start anywhere in the cycle except the 0.75 phase (bbr picks a
 	// random phase for fleet-wide decorrelation).
@@ -318,7 +337,7 @@ func (b *BBR) updateMinRTT(conn cc.Conn, rs *cc.RateSample) {
 	}
 	// Enter PROBE_RTT when the estimate has gone stale.
 	if expired && b.mode != ProbeRTT && b.fullPipe {
-		b.mode = ProbeRTT
+		b.setMode(ProbeRTT)
 		b.priorCwnd = conn.Cwnd()
 		b.probeRTTDoneAt = 0
 		b.pacingGain = 1.0
@@ -349,7 +368,7 @@ func (b *BBR) exitProbeRTT(conn cc.Conn) {
 	if b.fullPipe {
 		b.enterProbeBW(conn)
 	} else {
-		b.mode = Startup
+		b.setMode(Startup)
 		b.pacingGain = highGain
 		b.cwndGain = highGain
 	}

@@ -151,6 +151,11 @@ type BBRv2 struct {
 
 	probeWaitUntil time.Duration
 	refillRound    uint64
+
+	// modeListener, when set, observes every state-machine transition
+	// (telemetry); labels include the PROBE_BW sub-phase. nil costs only a
+	// nil-check per transition.
+	modeListener func(old, new string)
 }
 
 const unbounded = 1 << 30
@@ -194,6 +199,32 @@ func (b *BBRv2) Mode() Mode { return b.mode }
 
 // CurrentPhase returns the PROBE_BW sub-phase (for tests).
 func (b *BBRv2) CurrentPhase() Phase { return b.phase }
+
+// SetModeListener implements cc.ModeReporter.
+func (b *BBRv2) SetModeListener(fn func(old, new string)) { b.modeListener = fn }
+
+// label is the externally visible state: the mode, with the sub-phase
+// appended while cycling PROBE_BW (e.g. "PROBE_BW/CRUISE").
+func (b *BBRv2) label() string {
+	if b.mode == ProbeBW {
+		return b.mode.String() + "/" + b.phase.String()
+	}
+	return b.mode.String()
+}
+
+// observe runs mutate and notifies the listener if the visible state-machine
+// label changed. With no listener it is just mutate().
+func (b *BBRv2) observe(mutate func()) {
+	if b.modeListener == nil {
+		mutate()
+		return
+	}
+	old := b.label()
+	mutate()
+	if n := b.label(); n != old {
+		b.modeListener(old, n)
+	}
+}
 
 // InflightHi returns the loss-learned inflight ceiling in packets, or a
 // very large value when unknown.
@@ -308,7 +339,7 @@ func (b *BBRv2) updateLossModel(conn cc.Conn, rs *cc.RateSample) {
 		}
 		b.inflightLo = hi
 		if b.mode == ProbeBW && b.phase == PhaseUp {
-			b.enterPhase(conn, PhaseDown)
+			b.observe(func() { b.enterPhase(conn, PhaseDown) })
 		}
 		if b.mode == Startup {
 			b.fullPipe = true // excessive startup loss ends STARTUP
@@ -354,14 +385,18 @@ func (b *BBRv2) checkFullPipe(conn cc.Conn, rs *cc.RateSample) {
 
 func (b *BBRv2) checkDrain(conn cc.Conn) {
 	if b.mode == Startup && b.fullPipe {
-		b.mode = Drain
-		b.pacingGain = drainGain
-		b.cwndGain = highGain
+		b.observe(func() {
+			b.mode = Drain
+			b.pacingGain = drainGain
+			b.cwndGain = highGain
+		})
 	}
 	if b.mode == Drain && conn.PacketsInFlight() <= b.bdpPackets(conn, 1.0) {
-		b.mode = ProbeBW
-		b.cwndGain = cwndGainDefault
-		b.enterPhase(conn, PhaseDown)
+		b.observe(func() {
+			b.mode = ProbeBW
+			b.cwndGain = cwndGainDefault
+			b.enterPhase(conn, PhaseDown)
+		})
 	}
 }
 
@@ -393,24 +428,24 @@ func (b *BBRv2) updateProbePhases(conn cc.Conn, rs *cc.RateSample) {
 	case PhaseDown:
 		target := b.targetInflight(conn)
 		if conn.PacketsInFlight() <= target {
-			b.enterPhase(conn, PhaseCruise)
+			b.observe(func() { b.enterPhase(conn, PhaseCruise) })
 		}
 	case PhaseCruise:
 		if now >= b.probeWaitUntil {
-			b.enterPhase(conn, PhaseRefill)
+			b.observe(func() { b.enterPhase(conn, PhaseRefill) })
 		}
 	case PhaseRefill:
 		// One round of refilling the pipe, then probe up.
 		if b.roundCount > b.refillRound {
-			b.enterPhase(conn, PhaseUp)
+			b.observe(func() { b.enterPhase(conn, PhaseUp) })
 		}
 	case PhaseUp:
 		// Grow until we hit the ceiling (or a lossy round knocks us
 		// down in updateLossModel).
 		if b.inflightHi != unbounded && rs.PriorInFlight >= b.inflightHi {
-			b.enterPhase(conn, PhaseDown)
+			b.observe(func() { b.enterPhase(conn, PhaseDown) })
 		} else if b.minRTT > 0 && rs.PriorInFlight >= b.bdpPackets(conn, 1.25) {
-			b.enterPhase(conn, PhaseDown)
+			b.observe(func() { b.enterPhase(conn, PhaseDown) })
 		}
 	}
 }
@@ -441,10 +476,12 @@ func (b *BBRv2) updateMinRTT(conn cc.Conn, rs *cc.RateSample) {
 		b.minRTTStamp = now
 	}
 	if expired && b.mode != ProbeRTT && b.fullPipe {
-		b.mode = ProbeRTT
-		b.priorCwnd = conn.Cwnd()
-		b.probeRTTDoneAt = 0
-		b.pacingGain = 1.0
+		b.observe(func() {
+			b.mode = ProbeRTT
+			b.priorCwnd = conn.Cwnd()
+			b.probeRTTDoneAt = 0
+			b.pacingGain = 1.0
+		})
 	}
 	if b.mode == ProbeRTT {
 		if b.probeRTTDoneAt == 0 && conn.PacketsInFlight() <= b.probeRTTCwnd(conn) {
@@ -456,9 +493,11 @@ func (b *BBRv2) updateMinRTT(conn cc.Conn, rs *cc.RateSample) {
 			if conn.Cwnd() < b.priorCwnd {
 				conn.SetCwnd(b.priorCwnd)
 			}
-			b.mode = ProbeBW
-			b.cwndGain = cwndGainDefault
-			b.enterPhase(conn, PhaseDown)
+			b.observe(func() {
+				b.mode = ProbeBW
+				b.cwndGain = cwndGainDefault
+				b.enterPhase(conn, PhaseDown)
+			})
 		}
 	}
 }

@@ -169,3 +169,14 @@ type CongestionControl interface {
 
 // Factory builds a fresh congestion-control instance per connection.
 type Factory func() CongestionControl
+
+// ModeReporter is implemented by modules with an internal state machine
+// (BBR, BBRv2) that can notify a listener on every mode change — the
+// telemetry layer attaches here instead of polling. The labels are the
+// modules' String() forms (BBRv2 includes the PROBE_BW sub-phase, e.g.
+// "PROBE_BW/CRUISE").
+type ModeReporter interface {
+	// SetModeListener installs fn, called as fn(old, new) on each change.
+	// nil disables reporting.
+	SetModeListener(fn func(old, new string))
+}

@@ -17,6 +17,7 @@ import (
 
 	"mobbr/internal/sim"
 	"mobbr/internal/tcp"
+	"mobbr/internal/telemetry"
 	"mobbr/internal/units"
 )
 
@@ -97,6 +98,7 @@ type Checker struct {
 	prevs   map[int]prev
 	lastNow time.Duration
 	started bool
+	bus     *telemetry.Bus
 
 	violations []*Violation
 }
@@ -119,6 +121,10 @@ func New(eng *sim.Engine, ctx string, interval time.Duration) *Checker {
 // Watch adds a connection to the audit set.
 func (k *Checker) Watch(c Auditable) { k.conns = append(k.conns, c) }
 
+// SetBus mirrors every violation onto the telemetry bus (KindViolation), so
+// traces show what the checker caught in-line with the transport events.
+func (k *Checker) SetBus(b *telemetry.Bus) { k.bus = b }
+
 // Start arms the periodic audit on the engine clock.
 func (k *Checker) Start() {
 	if k.started {
@@ -140,12 +146,19 @@ func (k *Checker) report(rule string, conn int, format string, args ...any) {
 	if len(k.violations) >= maxViolations {
 		return
 	}
-	k.violations = append(k.violations, &Violation{
+	v := &Violation{
 		Rule:   rule,
 		At:     k.eng.Now(),
 		Conn:   conn,
 		Detail: fmt.Sprintf(format, args...),
-	})
+	}
+	k.violations = append(k.violations, v)
+	if k.bus != nil {
+		k.bus.Emit(telemetry.Event{
+			Kind: telemetry.KindViolation, Conn: conn,
+			New: v.Rule, Old: v.Detail,
+		})
+	}
 }
 
 // CheckNow runs one audit pass immediately.

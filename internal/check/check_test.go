@@ -197,10 +197,10 @@ func TestCorruptionCaught(t *testing.T) {
 // fixedCC is a minimal fixed-window module for live tests.
 type fixedCC struct{ cwnd int }
 
-func newFixedCC(cwnd int) *fixedCC             { return &fixedCC{cwnd: cwnd} }
-func (f *fixedCC) Name() string                { return "fixed" }
-func (f *fixedCC) Init(c cc.Conn)              { c.SetCwnd(f.cwnd) }
+func newFixedCC(cwnd int) *fixedCC                   { return &fixedCC{cwnd: cwnd} }
+func (f *fixedCC) Name() string                      { return "fixed" }
+func (f *fixedCC) Init(c cc.Conn)                    { c.SetCwnd(f.cwnd) }
 func (f *fixedCC) OnAck(c cc.Conn, _ *cc.RateSample) { c.SetCwnd(f.cwnd) }
-func (f *fixedCC) OnEvent(cc.Conn, cc.Event)   {}
-func (f *fixedCC) AckCost() float64            { return 100 }
-func (f *fixedCC) WantsPacing() bool           { return false }
+func (f *fixedCC) OnEvent(cc.Conn, cc.Event)         {}
+func (f *fixedCC) AckCost() float64                  { return 100 }
+func (f *fixedCC) WantsPacing() bool                 { return false }

@@ -19,6 +19,7 @@ import (
 	"mobbr/internal/cc/cubic"
 	"mobbr/internal/cc/reno"
 	"mobbr/internal/check"
+	"mobbr/internal/cpumodel"
 	"mobbr/internal/device"
 	"mobbr/internal/faults"
 	"mobbr/internal/iperf"
@@ -27,6 +28,8 @@ import (
 	"mobbr/internal/sim"
 	"mobbr/internal/stats"
 	"mobbr/internal/tcp"
+	"mobbr/internal/telemetry"
+	"mobbr/internal/trace"
 	"mobbr/internal/units"
 )
 
@@ -121,6 +124,10 @@ type Spec struct {
 	// MaxWallClock bounds the real time one run may take (0 = default
 	// 2 minutes; negative = unbounded).
 	MaxWallClock time.Duration
+	// Telemetry selects the run's observability layers (trace bus,
+	// metrics registry, cycle profiler). The zero value disables all of
+	// them — the hot paths then pay only nil-checks.
+	Telemetry telemetry.Config
 
 	// corruptAt is a test-only hook: at this virtual time connection 0's
 	// inflight counter is deliberately skewed, to prove the checker turns
@@ -220,6 +227,16 @@ func Factories() map[string]cc.Factory {
 type Result struct {
 	Spec   Spec
 	Report *iperf.Report
+	// Events is the run's telemetry bus when Spec.Telemetry.Trace was set
+	// (nil otherwise); write it out with Events.WriteJSONL.
+	Events *telemetry.Bus
+	// Profile attributes CPU-model cycles by core × phase × op when
+	// Spec.Telemetry.Profile was set.
+	Profile *telemetry.Profile
+	// Engine holds simulator self-metrics when Spec.Telemetry.Metrics was
+	// set: events processed, events/sec of wall clock, heap allocations
+	// per simulated second.
+	Engine *telemetry.EngineStats
 }
 
 // Run executes one experiment. It validates the spec, enforces the event
@@ -279,6 +296,35 @@ func Run(spec Spec) (*Result, error) {
 	eng.SetLimits(sim.Limits{MaxEvents: spec.MaxEvents, WallClock: wall})
 	cpu, appCPU := device.NewCPUs(eng, spec.Device, spec.CPU)
 
+	// Observability: each layer is built only when asked for, and a nil
+	// bus/registry/profile keeps every instrumentation site a no-op.
+	tel := spec.Telemetry
+	var bus *telemetry.Bus
+	if tel.Trace {
+		bus = telemetry.NewBus(eng, tel.MaxEvents)
+	}
+	var reg *telemetry.Registry
+	if tel.Metrics {
+		reg = telemetry.NewRegistry()
+	}
+	var prof *telemetry.Profile
+	if tel.Profile {
+		prof = telemetry.NewProfile()
+		cpu.SetObserver(func(op cpumodel.Op, cycles float64) {
+			prof.Add("net", op.String(), cycles)
+		})
+		appCPU.SetObserver(func(op cpumodel.Op, cycles float64) {
+			prof.Add("app", op.String(), cycles)
+		})
+	}
+	if bus != nil {
+		// Governor frequency changes; only the net core reports — both
+		// cores share one governor, so listening on both would duplicate.
+		cpu.SetSpeedListener(func(old, new float64) {
+			bus.Emit(telemetry.Event{Kind: telemetry.KindGovernor, Conn: -1, Value: new, V2: old})
+		})
+	}
+
 	var (
 		path *netem.Path
 		err  error
@@ -303,8 +349,19 @@ func Run(spec Spec) (*Result, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	if !spec.Faults.Empty() {
-		if err := spec.Faults.Install(eng, path); err != nil {
+		if err := spec.Faults.InstallObserved(eng, path, bus); err != nil {
 			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	if prof != nil {
+		// Phase attribution: cycles before, during, and after the fault
+		// window. With no faults the whole run is one "run" phase.
+		if start, end, ok := spec.Faults.Window(); ok {
+			prof.SetPhase("before")
+			eng.Schedule(start, func() { prof.SetPhase("during") })
+			if end > start {
+				eng.Schedule(end, func() { prof.SetPhase("after") })
+			}
 		}
 	}
 
@@ -320,6 +377,8 @@ func Run(spec Spec) (*Result, error) {
 		Interval: spec.Interval,
 		TCP:      cfg,
 		AppCPU:   appCPU,
+		Bus:      bus,
+		Metrics:  reg,
 	}
 	if len(factories) == 1 {
 		icfg.CC = factories[0]
@@ -333,13 +392,25 @@ func Run(spec Spec) (*Result, error) {
 	var chk *check.Checker
 	if spec.Check {
 		chk = check.New(eng, fmt.Sprintf("%s seed=%d", spec, spec.Seed), 0)
+		chk.SetBus(bus)
 		for _, c := range sess.Conns() {
 			chk.Watch(c)
 		}
 		chk.Start()
 	}
+	if bus != nil {
+		// Periodic per-connection samples (cwnd, inflight, pacing rate,
+		// srtt, CC mode) interleaved with the transport events.
+		rec := trace.New(eng, sess.Conns(), 0)
+		rec.SetBus(bus)
+		rec.Start()
+	}
 	if spec.corruptAt > 0 {
 		eng.Schedule(spec.corruptAt, func() { sess.Conns()[0].CorruptInflightForTest(3) })
+	}
+	var coll *telemetry.EngineCollector
+	if tel.Metrics {
+		coll = telemetry.StartEngineCollector(eng)
 	}
 	report := sess.Run()
 	if lerr := eng.LimitErr(); lerr != nil {
@@ -351,7 +422,13 @@ func Run(spec Spec) (*Result, error) {
 			return nil, cerr
 		}
 	}
-	return &Result{Spec: spec, Report: report}, nil
+	return &Result{
+		Spec:    spec,
+		Report:  report,
+		Events:  bus,
+		Profile: prof,
+		Engine:  coll.Stop(),
+	}, nil
 }
 
 // Aggregate is the multi-seed summary of a Spec.

@@ -36,6 +36,14 @@ type CPU struct {
 	// Per-op accounting for diagnostics and EXPERIMENTS.md reporting.
 	opCount  [numOps]uint64
 	opCycles [numOps]float64
+
+	// observer, when set, sees every charge as it happens (the telemetry
+	// profiler attributes it to the current run phase). nil costs the hot
+	// path only this nil-check.
+	observer func(op Op, cycles float64)
+	// speedListener, when set, is notified on every effective-speed change
+	// (governor frequency decisions).
+	speedListener func(old, new float64)
 }
 
 // NewCPU returns a CPU on eng running at the given effective speed
@@ -72,8 +80,20 @@ func (c *CPU) SetSpeed(speed float64) {
 	if speed <= 0 {
 		panic(fmt.Sprintf("cpumodel: non-positive CPU speed %v", speed))
 	}
+	old := c.speed
 	c.speed = speed
+	if c.speedListener != nil && old != speed {
+		c.speedListener(old, speed)
+	}
 }
+
+// SetObserver installs a per-charge callback invoked from Submit with the
+// op and its (pre-pressure) cycle cost. nil disables observation.
+func (c *CPU) SetObserver(fn func(op Op, cycles float64)) { c.observer = fn }
+
+// SetSpeedListener installs a callback invoked from SetSpeed whenever the
+// effective speed actually changes. nil disables it.
+func (c *CPU) SetSpeedListener(fn func(old, new float64)) { c.speedListener = fn }
 
 // Submit charges cycles of work for op and runs fn when the work completes,
 // after all previously queued work. It returns the virtual completion time.
@@ -95,6 +115,9 @@ func (c *CPU) Submit(op Op, cycles float64, fn func()) time.Duration {
 	if op >= 0 && op < numOps {
 		c.opCount[op]++
 		c.opCycles[op] += cycles
+	}
+	if c.observer != nil {
+		c.observer(op, cycles)
 	}
 	if fn != nil {
 		c.eng.ScheduleAt(done, fn)
@@ -165,22 +188,67 @@ func (c *CPU) OpCycles(op Op) float64 {
 	return c.opCycles[op]
 }
 
+// OpStat is one operation's accumulated accounting inside a Snapshot.
+type OpStat struct {
+	Op     Op
+	Name   string
+	Count  uint64
+	Cycles float64
+}
+
+// Snapshot is the one-call view of a CPU's accounting: every per-op total
+// plus the utilization figures, taken atomically with respect to the
+// single-threaded engine (callers previously looped OpCycles per op).
+type Snapshot struct {
+	// Speed is the effective speed in reference cycles/second.
+	Speed float64
+	// Pressure is the cache-pressure cost multiplier.
+	Pressure float64
+	// Utilization is the busy fraction since the start of the run.
+	Utilization float64
+	// TotalBusy is the accumulated busy time.
+	TotalBusy time.Duration
+	// Ops lists every operation's count and cycle total, in Op order
+	// (including zero entries, so indices are stable).
+	Ops []OpStat
+	// TotalCycles is the sum of cycles across ops.
+	TotalCycles float64
+}
+
+// Breakdown returns each operation's share of the total cycles, keyed by
+// name. Operations with no cycles are omitted.
+func (s Snapshot) Breakdown() map[string]float64 {
+	out := make(map[string]float64)
+	if s.TotalCycles == 0 {
+		return out
+	}
+	for _, o := range s.Ops {
+		if o.Cycles > 0 {
+			out[o.Name] = o.Cycles / s.TotalCycles
+		}
+	}
+	return out
+}
+
+// Snapshot returns the CPU's full accounting in one call.
+func (c *CPU) Snapshot() Snapshot {
+	s := Snapshot{
+		Speed:       c.speed,
+		Pressure:    c.pressure,
+		Utilization: c.TotalUtilization(),
+		TotalBusy:   c.totalBusy,
+		Ops:         make([]OpStat, numOps),
+	}
+	for op := Op(0); op < numOps; op++ {
+		s.Ops[op] = OpStat{Op: op, Name: op.String(), Count: c.opCount[op], Cycles: c.opCycles[op]}
+		s.TotalCycles += c.opCycles[op]
+	}
+	return s
+}
+
 // Breakdown returns each operation's share of the total cycles charged so
 // far, keyed by the operation's name. Operations with no cycles are
 // omitted.
 func (c *CPU) Breakdown() map[string]float64 {
-	var total float64
-	for _, cy := range c.opCycles {
-		total += cy
-	}
-	out := make(map[string]float64)
-	if total == 0 {
-		return out
-	}
-	for op, cy := range c.opCycles {
-		if cy > 0 {
-			out[Op(op).String()] = cy / total
-		}
-	}
-	return out
+	return c.Snapshot().Breakdown()
 }

@@ -13,6 +13,7 @@ import (
 
 	"mobbr/internal/netem"
 	"mobbr/internal/sim"
+	"mobbr/internal/telemetry"
 	"mobbr/internal/units"
 )
 
@@ -23,6 +24,10 @@ type Event interface {
 	Validate() error
 	// install arms the event's engine callbacks against the target pipe.
 	install(eng *sim.Engine, pipe *netem.Pipe)
+	// window returns the event's active interval [start, end]. Instantaneous
+	// events return start == end; open-ended ones (BurstLoss with Duration
+	// 0) return end == start as well — the caller treats the tail as open.
+	window() (start, end time.Duration)
 	// String describes the event for logs and error messages.
 	String() string
 }
@@ -51,6 +56,10 @@ func (b Blackout) install(eng *sim.Engine, pipe *netem.Pipe) {
 	eng.Schedule(b.Start+b.Duration, pipe.Resume)
 }
 
+func (b Blackout) window() (time.Duration, time.Duration) {
+	return b.Start, b.Start + b.Duration
+}
+
 // String implements Event.
 func (b Blackout) String() string {
 	return fmt.Sprintf("blackout@%v for %v", b.Start, b.Duration)
@@ -77,6 +86,8 @@ func (r RateStep) Validate() error {
 func (r RateStep) install(eng *sim.Engine, pipe *netem.Pipe) {
 	eng.Schedule(r.At, func() { pipe.SetRate(r.Rate) })
 }
+
+func (r RateStep) window() (time.Duration, time.Duration) { return r.At, r.At }
 
 // String implements Event.
 func (r RateStep) String() string {
@@ -124,6 +135,10 @@ func (r RateRamp) install(eng *sim.Engine, pipe *netem.Pipe) {
 	}
 }
 
+func (r RateRamp) window() (time.Duration, time.Duration) {
+	return r.Start, r.Start + r.Duration
+}
+
 // String implements Event.
 func (r RateRamp) String() string {
 	return fmt.Sprintf("rate-ramp@%v %v→%v over %v", r.Start, r.From, r.To, r.Duration)
@@ -160,6 +175,10 @@ func (d DelaySpike) install(eng *sim.Engine, pipe *netem.Pipe) {
 	})
 }
 
+func (d DelaySpike) window() (time.Duration, time.Duration) {
+	return d.Start, d.Start + d.Duration
+}
+
 // String implements Event.
 func (d DelaySpike) String() string {
 	return fmt.Sprintf("delay-spike@%v +%v for %v", d.Start, d.Extra, d.Duration)
@@ -191,6 +210,10 @@ func (b BurstLoss) install(eng *sim.Engine, pipe *netem.Pipe) {
 	if b.Duration > 0 {
 		eng.Schedule(b.Start+b.Duration, func() { _ = pipe.SetGE(nil) })
 	}
+}
+
+func (b BurstLoss) window() (time.Duration, time.Duration) {
+	return b.Start, b.Start + b.Duration // Duration 0 → open-ended tail
 }
 
 // String implements Event.
@@ -242,6 +265,10 @@ func (h Handover) install(eng *sim.Engine, pipe *netem.Pipe) {
 	eng.Schedule(h.At+h.Outage, pipe.Resume)
 }
 
+func (h Handover) window() (time.Duration, time.Duration) {
+	return h.At, h.At + h.Outage
+}
+
 // String implements Event.
 func (h Handover) String() string {
 	return fmt.Sprintf("handover@%v outage %v → rate %v delay %v", h.At, h.Outage, h.Rate, h.Delay)
@@ -276,10 +303,37 @@ func (s Schedule) Validate() error {
 // Empty reports whether the schedule has no events.
 func (s Schedule) Empty() bool { return len(s.Events) == 0 }
 
+// Window returns the envelope of all events: the earliest start and the
+// latest end, for phase attribution (before/during/after the fault window).
+// ok is false when the schedule is empty.
+func (s Schedule) Window() (start, end time.Duration, ok bool) {
+	if s.Empty() {
+		return 0, 0, false
+	}
+	for i, ev := range s.Events {
+		es, ee := ev.window()
+		if i == 0 || es < start {
+			start = es
+		}
+		if ee > end {
+			end = ee
+		}
+	}
+	return start, end, true
+}
+
 // Install validates the schedule and arms every event on the target path.
 // Event times are relative to installation — install before starting the
 // run so they read as absolute virtual times.
 func (s Schedule) Install(eng *sim.Engine, path *netem.Path) error {
+	return s.InstallObserved(eng, path, nil)
+}
+
+// InstallObserved is Install plus telemetry: each event's begin and end are
+// announced on the bus (KindFault, Conn -1) at the window edges, so traces
+// carry the fault timeline alongside the transport's reaction to it. A nil
+// bus degrades to plain Install.
+func (s Schedule) InstallObserved(eng *sim.Engine, path *netem.Path, bus *telemetry.Bus) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
@@ -289,6 +343,18 @@ func (s Schedule) Install(eng *sim.Engine, path *netem.Path) error {
 	pipe := path.Hop(s.Hop)
 	for _, ev := range s.Events {
 		ev.install(eng, pipe)
+		if bus != nil {
+			desc := ev.String()
+			start, end := ev.window()
+			eng.Schedule(start, func() {
+				bus.Emit(telemetry.Event{Kind: telemetry.KindFault, Conn: -1, Old: "begin", New: desc})
+			})
+			if end > start {
+				eng.Schedule(end, func() {
+					bus.Emit(telemetry.Event{Kind: telemetry.KindFault, Conn: -1, Old: "end", New: desc})
+				})
+			}
+		}
 	}
 	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"mobbr/internal/sim"
 	"mobbr/internal/stats"
 	"mobbr/internal/tcp"
+	"mobbr/internal/telemetry"
 	"mobbr/internal/units"
 )
 
@@ -49,6 +50,13 @@ type Config struct {
 	// StaggerStarts spreads connection starts over this window to avoid
 	// artificial lockstep (default 10 ms).
 	StaggerStarts time.Duration
+	// Bus, when set, receives every connection's structured telemetry
+	// events (state transitions, RTOs, pacing-timer slippage, …).
+	Bus *telemetry.Bus
+	// Metrics, when set, collects per-connection histograms (ACK batch
+	// size, send quantum, inter-send gap, delivery rate, timer slippage);
+	// Collect snapshots it into Report.Metrics.
+	Metrics *telemetry.Registry
 }
 
 // Session is one assembled iPerf run.
@@ -125,6 +133,9 @@ func New(eng *sim.Engine, cpu *cpumodel.CPU, path *netem.Path, cfg Config) (*Ses
 		conn := tcp.NewConn(i, eng, cpu, path, tcfg, factory)
 		if cfg.AppCPU != nil {
 			conn.SetAppCPU(cfg.AppCPU)
+		}
+		if cfg.Bus != nil || cfg.Metrics != nil {
+			conn.SetTelemetry(cfg.Bus, telemetry.NewConnMetrics(cfg.Metrics, i))
 		}
 		rx := tcp.NewReceiver(eng, path, conn)
 		demux.Add(rx)
@@ -264,6 +275,9 @@ type Report struct {
 	// retries exhausted, stall watchdog) with their reasons. A dead
 	// connection is a measured outcome of the run, not a run failure.
 	ConnErrors []error
+	// Metrics is the telemetry-registry snapshot when Config.Metrics was
+	// set (nil otherwise).
+	Metrics *telemetry.Snapshot
 }
 
 // WriteIntervalsCSV writes the interval series as CSV (start_s, end_s,
@@ -297,6 +311,9 @@ func (s *Session) Collect() *Report {
 		CPUSpeed:     s.cpu.Speed(),
 		PathDrops:    s.path.TotalDrops(),
 		AvgNICQueue:  s.queueDepth.Mean(),
+	}
+	if s.cfg.Metrics != nil {
+		r.Metrics = s.cfg.Metrics.Snapshot()
 	}
 	var goodBytes units.DataSize
 	var sumSKB, sumIdle, periods float64

@@ -15,6 +15,7 @@ package pacing
 import (
 	"time"
 
+	"mobbr/internal/telemetry"
 	"mobbr/internal/units"
 )
 
@@ -88,6 +89,10 @@ type Pacer struct {
 	sumIdle   time.Duration
 	lastIdle  time.Duration
 	timerArms uint64
+
+	// Telemetry instruments (nil = disabled, the default).
+	skbHist *telemetry.Histogram
+	gapHist *telemetry.Histogram
 }
 
 // New returns a pacer with cfg (zero fields take defaults).
@@ -97,6 +102,13 @@ func New(cfg Config) *Pacer {
 
 // Config returns the pacer's effective configuration.
 func (p *Pacer) Config() Config { return p.cfg }
+
+// SetInstruments attaches telemetry histograms: skb observes bytes per send
+// (the send quantum), gap observes the pacing idle time in ms. nil
+// instruments no-op, so the hot path pays only nil-checks when disabled.
+func (p *Pacer) SetInstruments(skb, gap *telemetry.Histogram) {
+	p.skbHist, p.gapHist = skb, gap
+}
 
 // Enabled reports whether pacing is on.
 func (p *Pacer) Enabled() bool { return p.cfg.Enabled }
@@ -150,6 +162,7 @@ func (p *Pacer) CanSendAt(now time.Duration) (bool, time.Duration) {
 func (p *Pacer) OnSKBSent(now time.Duration, skbBytes units.DataSize, rate units.Bandwidth) time.Duration {
 	p.periods++
 	p.sumSKB += float64(skbBytes)
+	p.skbHist.Observe(float64(skbBytes))
 	if !p.cfg.Enabled || rate <= 0 {
 		return 0
 	}
@@ -157,6 +170,7 @@ func (p *Pacer) OnSKBSent(now time.Duration, skbBytes units.DataSize, rate units
 	p.nextSendAt = now + idle
 	p.sumIdle += idle
 	p.lastIdle = idle
+	p.gapHist.Observe(float64(idle) / 1e6)
 	return idle
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mobbr/internal/core"
+	"mobbr/internal/telemetry"
 	"mobbr/internal/units"
 )
 
@@ -34,16 +35,32 @@ type Row struct {
 	CPUUtil float64
 	// Jain is the mean Jain fairness index of per-connection goodputs.
 	Jain float64
+	// PacingShare is the pacing-timer fraction of netstack-core cycles
+	// from the cycle profiler (0 when profiling was off) — the §6.1
+	// per-event-overhead signal.
+	PacingShare float64
+	// Sample is the last seed's full result, carrying the telemetry bus,
+	// profile and engine stats when they were enabled.
+	Sample *core.Result
 }
 
 // RunExperiment executes every point of e over the given duration and seed
 // count, returning one row per point.
 func RunExperiment(e Experiment, dur time.Duration, seeds int) ([]Row, error) {
+	return RunExperimentTelemetry(e, dur, seeds, telemetry.Config{})
+}
+
+// RunExperimentTelemetry is RunExperiment with an observability config
+// applied to every run: each row's Sample carries the last seed's trace
+// bus, cycle profile and engine stats, and PacingShare is filled from the
+// profile when enabled.
+func RunExperimentTelemetry(e Experiment, dur time.Duration, seeds int, tel telemetry.Config) ([]Row, error) {
 	rows := make([]Row, 0, len(e.Points))
 	for _, p := range e.Points {
 		spec := p.Spec
 		spec.Duration = dur
 		spec.Warmup = dur / 5
+		spec.Telemetry = tel
 		agg, err := core.RunSeeds(spec, seeds)
 		if err != nil {
 			return nil, fmt.Errorf("repro %s/%s: %w", e.ID, p.Label, err)
@@ -53,6 +70,11 @@ func RunExperiment(e Experiment, dur time.Duration, seeds int) ([]Row, error) {
 			jain += run.Report.Fairness.Jain
 		}
 		jain /= float64(len(agg.Runs))
+		sample := agg.Runs[len(agg.Runs)-1]
+		var paceShare float64
+		if sample.Profile != nil {
+			paceShare = sample.Profile.Share("net", "pacing_timer")
+		}
 		rows = append(rows, Row{
 			Point:        p,
 			GoodputMbps:  agg.Goodput.Mean() / 1e6,
@@ -66,25 +88,43 @@ func RunExperiment(e Experiment, dur time.Duration, seeds int) ([]Row, error) {
 			MaxBufKB:     agg.MaxBufOcc.Mean() / 1024,
 			CPUUtil:      agg.CPUUtil.Mean(),
 			Jain:         jain,
+			PacingShare:  paceShare,
+			Sample:       sample,
 		})
 	}
 	return rows, nil
 }
 
 // Print writes rows as an aligned table to w, including the paper's values
-// where the text states them.
+// where the text states them. A pace% column (pacing-timer share of
+// netstack cycles) appears when any row carries a cycle profile.
 func Print(w io.Writer, e Experiment, rows []Row) {
+	profiled := false
+	for _, r := range rows {
+		if r.Sample != nil && r.Sample.Profile != nil {
+			profiled = true
+			break
+		}
+	}
 	fmt.Fprintf(w, "== %s: %s\n", e.ID, e.Title)
-	fmt.Fprintf(w, "%-36s %9s %7s %8s %8s %9s %8s %8s %9s %6s\n",
+	fmt.Fprintf(w, "%-36s %9s %7s %8s %8s %9s %8s %8s %9s %6s",
 		"point", "Mbps", "±CI", "paper", "rtt ms", "retx", "skb Kb", "idle ms", "expect", "jain")
+	if profiled {
+		fmt.Fprintf(w, " %6s", "pace%")
+	}
+	fmt.Fprintln(w)
 	for _, r := range rows {
 		paper := "-"
 		if r.Point.PaperMbps > 0 {
 			paper = fmt.Sprintf("%.0f", r.Point.PaperMbps)
 		}
-		fmt.Fprintf(w, "%-36s %9.1f %7.1f %8s %8.2f %9.0f %8.1f %8.2f %9.0f %6.3f\n",
+		fmt.Fprintf(w, "%-36s %9.1f %7.1f %8s %8.2f %9.0f %8.1f %8.2f %9.0f %6.3f",
 			r.Point.Label, r.GoodputMbps, r.GoodputCI, paper,
 			r.RTTms, r.Retransmits, r.SKBKbits, r.IdleMs, r.ExpectedMbps, r.Jain)
+		if profiled {
+			fmt.Fprintf(w, " %6.1f", r.PacingShare*100)
+		}
+		fmt.Fprintln(w)
 	}
 	fmt.Fprintln(w)
 }

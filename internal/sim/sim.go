@@ -139,6 +139,10 @@ type Engine struct {
 	wallStart     time.Time
 	lastScheduled time.Duration
 	limitErr      *LimitError
+
+	// maxPending is the event queue's high-water mark (includes cancelled
+	// items still in the heap — the memory the queue actually held).
+	maxPending int
 }
 
 // New returns an Engine whose random source is seeded with seed.
@@ -216,6 +220,9 @@ func (e *Engine) Schedule(delay time.Duration, fn Event) *Timer {
 	it := &eventItem{at: e.now + delay, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.events, it)
+	if n := len(e.events); n > e.maxPending {
+		e.maxPending = n
+	}
 	e.lastScheduled = it.at
 	return &Timer{eng: e, item: it}
 }
@@ -286,6 +293,9 @@ func (e *Engine) RunAll(maxEvents uint64) bool {
 	}
 	return len(e.events) == 0
 }
+
+// MaxPending returns the event queue's high-water mark over the run.
+func (e *Engine) MaxPending() int { return e.maxPending }
 
 // Pending returns the number of scheduled (non-cancelled) events.
 func (e *Engine) Pending() int {

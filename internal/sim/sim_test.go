@@ -215,3 +215,21 @@ func TestNilEventPanics(t *testing.T) {
 	}()
 	New(1).Schedule(0, nil)
 }
+
+func TestMaxPendingHighWater(t *testing.T) {
+	e := New(1)
+	if e.MaxPending() != 0 {
+		t.Fatalf("fresh engine MaxPending = %d", e.MaxPending())
+	}
+	// Queue depth peaks at 10 while scheduling, then drains to 0.
+	for i := 1; i <= 10; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	e.Run(time.Second)
+	if e.Pending() != 0 {
+		t.Errorf("pending after run = %d", e.Pending())
+	}
+	if e.MaxPending() != 10 {
+		t.Errorf("MaxPending = %d, want 10", e.MaxPending())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"mobbr/internal/cc"
 	"mobbr/internal/cpumodel"
 	"mobbr/internal/seg"
+	"mobbr/internal/telemetry"
 	"mobbr/internal/units"
 )
 
@@ -137,12 +138,12 @@ func (c *Conn) processAck(a *seg.Ack) {
 
 	// Recovery state machine.
 	if len(newLost) > 0 && c.state == cc.StateOpen {
-		c.state = cc.StateRecovery
+		c.setState(cc.StateRecovery)
 		c.recoveryPoint = c.sndNxt
 		c.ccMod.OnEvent(c, cc.EventEnterRecovery)
 	}
 	if c.state != cc.StateOpen && a.CumAck >= c.recoveryPoint {
-		c.state = cc.StateOpen
+		c.setState(cc.StateOpen)
 		c.undoValid = false
 		c.ccMod.OnEvent(c, cc.EventExitRecovery)
 	}
@@ -179,6 +180,15 @@ func (c *Conn) processAck(a *seg.Ack) {
 		c.appLimited = 0
 	}
 
+	if c.met != nil {
+		if deliveredPkt > 0 {
+			c.met.AckBatch.Observe(float64(deliveredPkt))
+		}
+		if rate := rs.DeliveryRate(c.cfg.MSS); rate > 0 {
+			c.met.DeliveryRate.Observe(rate.Mbit())
+		}
+	}
+
 	c.ccMod.OnAck(c, &rs)
 	if !c.ccMod.WantsPacing() {
 		c.updatePacingRateFromCwnd()
@@ -211,7 +221,13 @@ func (c *Conn) undoSpuriousRTO() {
 		c.SetCwnd(c.undoCwnd)
 	}
 	c.ssthresh = c.undoSsthresh
-	c.state = cc.StateOpen
+	if c.bus != nil {
+		c.bus.Emit(telemetry.Event{
+			Kind: telemetry.KindSpuriousRTO, Conn: c.id,
+			Value: float64(c.undoCwnd),
+		})
+	}
+	c.setState(cc.StateOpen)
 	c.ccMod.OnEvent(c, cc.EventSpuriousRTO)
 }
 

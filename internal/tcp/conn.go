@@ -12,6 +12,7 @@ import (
 	"mobbr/internal/seg"
 	"mobbr/internal/sim"
 	"mobbr/internal/stats"
+	"mobbr/internal/telemetry"
 	"mobbr/internal/units"
 )
 
@@ -99,6 +100,12 @@ type Conn struct {
 
 	maxBufOcc units.DataSize
 	rttSample stats.Online
+
+	// Telemetry (nil = disabled, the default): bus receives structured
+	// state/recovery/pacing events; met holds the per-connection
+	// histograms. Hot paths guard every use with a nil-check.
+	bus *telemetry.Bus
+	met *telemetry.ConnMetrics
 }
 
 // NewConn creates a connection with the given flow id. The congestion
@@ -138,6 +145,42 @@ func (c *Conn) Pacer() *pacing.Pacer { return c.pacer }
 // SetAppCPU attaches the application core that pays the per-byte sendmsg
 // copy cost. Call before Start.
 func (c *Conn) SetAppCPU(cpu *cpumodel.CPU) { c.appCPU = cpu }
+
+// SetTelemetry attaches the event bus and per-connection instruments. Call
+// before Start. Either argument may be nil (that subsystem stays off). The
+// congestion module's state machine, when it implements cc.ModeReporter,
+// reports its transitions onto the bus; the pacer's send-quantum and
+// inter-send-gap instruments are wired here too.
+func (c *Conn) SetTelemetry(bus *telemetry.Bus, met *telemetry.ConnMetrics) {
+	c.bus = bus
+	c.met = met
+	if met != nil {
+		c.pacer.SetInstruments(met.SendQuantum, met.InterSendGap)
+	}
+	if bus != nil {
+		if mr, ok := c.ccMod.(cc.ModeReporter); ok {
+			id := c.id
+			mr.SetModeListener(func(old, new string) {
+				bus.Emit(telemetry.Event{Kind: telemetry.KindCCMode, Conn: id, Old: old, New: new})
+			})
+		}
+	}
+}
+
+// setState transitions the loss-recovery state, emitting a KindTCPState
+// event on change.
+func (c *Conn) setState(s cc.State) {
+	if s == c.state {
+		return
+	}
+	if c.bus != nil {
+		c.bus.Emit(telemetry.Event{
+			Kind: telemetry.KindTCPState, Conn: c.id,
+			Old: c.state.String(), New: s.String(),
+		})
+	}
+	c.state = s
+}
 
 // Start schedules the first transmission (after cfg.StartDelay).
 func (c *Conn) Start() {
@@ -220,6 +263,9 @@ func (c *Conn) fail(err error) {
 		return
 	}
 	c.failedErr = err
+	if c.bus != nil {
+		c.bus.Emit(telemetry.Event{Kind: telemetry.KindConnFailed, Conn: c.id, New: err.Error()})
+	}
 	c.Stop()
 }
 
@@ -442,6 +488,12 @@ func (c *Conn) cwndRestartAfterIdle(now time.Duration) {
 		cwnd = restart
 	}
 	if cwnd != c.cwnd {
+		if c.bus != nil {
+			c.bus.Emit(telemetry.Event{
+				Kind: telemetry.KindIdleRestart, Conn: c.id,
+				Value: float64(c.cwnd), V2: float64(cwnd),
+			})
+		}
 		c.cwnd = cwnd
 		c.idleRestarts++
 	}
@@ -581,7 +633,21 @@ func (c *Conn) armPacingTimer(wait time.Duration) {
 			c.trySend()
 			return
 		}
-		c.cpu.SubmitOp(cpumodel.OpPacingTimer, c.trySend)
+		now := c.eng.Now()
+		done := c.cpu.SubmitOp(cpumodel.OpPacingTimer, c.trySend)
+		if c.bus != nil || c.met != nil {
+			// Timer slippage: the gate reopened at now, but the expiry
+			// work queues behind whatever the CPU is already doing, so
+			// the send actually runs at done. The delta is the paper's
+			// CPU-contention signal.
+			slip := float64(done-now) / 1e3 // µs
+			if c.bus != nil {
+				c.bus.Emit(telemetry.Event{Kind: telemetry.KindPacingTimer, Conn: c.id, Value: slip})
+			}
+			if c.met != nil {
+				c.met.TimerSlip.Observe(slip)
+			}
+		}
 	})
 }
 
@@ -644,7 +710,13 @@ func (c *Conn) enterLoss() {
 		}
 		c.lostTotal++
 	}
-	c.state = cc.StateLoss
+	if c.bus != nil {
+		c.bus.Emit(telemetry.Event{
+			Kind: telemetry.KindRTO, Conn: c.id,
+			Value: float64(c.rtoBackoff), V2: float64(len(newly)),
+		})
+	}
+	c.setState(cc.StateLoss)
 	c.recoveryPoint = c.sndNxt
 	// The module snapshots ssthresh from the pre-collapse cwnd, then the
 	// transport collapses the window (tcp_enter_loss ordering).

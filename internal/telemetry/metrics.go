@@ -1,0 +1,376 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing count. All methods are safe on a
+// nil receiver (the disabled state).
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-value-wins measurement. Safe on a nil receiver.
+type Gauge struct{ v float64 }
+
+// Set records v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// Value returns the last recorded value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bucket histogram: bounds are inclusive upper edges,
+// with an implicit +Inf bucket at the end. Safe on a nil receiver.
+type Histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is the overflow bucket
+	n      uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1), min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.n++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Mean returns the sample mean (0 when empty or nil).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Quantile approximates the q-quantile (0 ≤ q ≤ 1) from the buckets: it
+// returns the upper bound of the bucket holding the q-th sample (the max
+// observed value for the overflow bucket).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.n)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// HistogramSnapshot is the frozen view of one histogram.
+type HistogramSnapshot struct {
+	Count  uint64
+	Sum    float64
+	Min    float64
+	Max    float64
+	Bounds []float64
+	Counts []uint64
+}
+
+// Mean returns the snapshot's sample mean (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Registry holds named instruments. A nil *Registry is the disabled state:
+// instrument constructors return nil instruments whose methods no-op, so an
+// instrumented component holds nils end to end and pays only nil-checks.
+type Registry struct {
+	order      []string
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	r.order = append(r.order, name)
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil on a
+// nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	r.order = append(r.order, name)
+	return g
+}
+
+// Histogram returns the named histogram, creating it with bounds on first
+// use (later calls ignore bounds). Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	h := newHistogram(bounds)
+	r.histograms[name] = h
+	r.order = append(r.order, name)
+	return h
+}
+
+// Snapshot freezes every instrument's current value. Returns nil on a nil
+// registry.
+type Snapshot struct {
+	Counters   map[string]uint64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot freezes the registry.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	s := &Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.v
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.v
+	}
+	for name, h := range r.histograms {
+		bounds := make([]float64, len(h.bounds))
+		copy(bounds, h.bounds)
+		counts := make([]uint64, len(h.counts))
+		copy(counts, h.counts)
+		s.Histograms[name] = HistogramSnapshot{
+			Count: h.n, Sum: h.sum, Min: h.min, Max: h.max,
+			Bounds: bounds, Counts: counts,
+		}
+	}
+	return s
+}
+
+// Write renders the snapshot as sorted, aligned text.
+func (s *Snapshot) Write(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if v, ok := s.Counters[n]; ok {
+			if _, err := fmt.Fprintf(w, "%-40s %12d\n", n, v); err != nil {
+				return err
+			}
+		} else if v, ok := s.Gauges[n]; ok {
+			if _, err := fmt.Fprintf(w, "%-40s %12.3f\n", n, v); err != nil {
+				return err
+			}
+		} else if h, ok := s.Histograms[n]; ok {
+			if _, err := fmt.Fprintf(w, "%-40s n=%-10d mean=%-12.3f min=%-12.3f max=%.3f\n",
+				n, h.Count, h.Mean(), zeroIfInf(h.Min), zeroIfInf(h.Max)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func zeroIfInf(v float64) float64 {
+	if math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// Default histogram bucket edges for the per-connection instruments.
+var (
+	// AckBatchBounds is in packets newly acked per ACK.
+	AckBatchBounds = []float64{1, 2, 4, 8, 16, 32, 64}
+	// DeliveryRateBounds is in Mbps per valid rate sample.
+	DeliveryRateBounds = []float64{1, 5, 10, 25, 50, 100, 200, 400, 800}
+	// SendQuantumBounds is in bytes per skb send.
+	SendQuantumBounds = []float64{3000, 6000, 12000, 24000, 48000, 65536}
+	// InterSendGapBounds is in ms of pacing idle gap per send.
+	InterSendGapBounds = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	// TimerSlipBounds is in µs of pacing-timer slippage.
+	TimerSlipBounds = []float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 5000}
+)
+
+// ConnMetrics bundles one connection's instruments. A nil *ConnMetrics (or
+// any nil instrument inside) is the disabled state.
+type ConnMetrics struct {
+	// AckBatch is packets newly delivered per processed ACK.
+	AckBatch *Histogram
+	// DeliveryRate is the per-ACK delivery-rate sample in Mbps — the
+	// per-RTT delivery signal BBR's model consumes.
+	DeliveryRate *Histogram
+	// SendQuantum is bytes per skb handed to the path (TSO autosize).
+	SendQuantum *Histogram
+	// InterSendGap is the pacing idle gap per send in ms (Eq. 1).
+	InterSendGap *Histogram
+	// TimerSlip is pacing-timer slippage in µs under CPU contention.
+	TimerSlip *Histogram
+}
+
+// NewConnMetrics registers connection id's instruments in r. Returns nil on
+// a nil registry.
+func NewConnMetrics(r *Registry, id int) *ConnMetrics {
+	if r == nil {
+		return nil
+	}
+	p := fmt.Sprintf("conn%d/", id)
+	return &ConnMetrics{
+		AckBatch:     r.Histogram(p+"ack_batch_pkts", AckBatchBounds),
+		DeliveryRate: r.Histogram(p+"delivery_rate_mbps", DeliveryRateBounds),
+		SendQuantum:  r.Histogram(p+"send_quantum_bytes", SendQuantumBounds),
+		InterSendGap: r.Histogram(p+"inter_send_gap_ms", InterSendGapBounds),
+		TimerSlip:    r.Histogram(p+"pacing_timer_slip_us", TimerSlipBounds),
+	}
+}
+
+// MergedHistogram sums every histogram whose name ends in suffix — the
+// cross-connection view of a per-connection instrument.
+func (s *Snapshot) MergedHistogram(suffix string) HistogramSnapshot {
+	var out HistogramSnapshot
+	if s == nil {
+		return out
+	}
+	out.Min = math.Inf(1)
+	out.Max = math.Inf(-1)
+	for name, h := range s.Histograms {
+		if !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		if out.Bounds == nil {
+			out.Bounds = append([]float64(nil), h.Bounds...)
+			out.Counts = make([]uint64, len(h.Counts))
+		}
+		if len(h.Counts) != len(out.Counts) {
+			continue
+		}
+		for i, c := range h.Counts {
+			out.Counts[i] += c
+		}
+		out.Count += h.Count
+		out.Sum += h.Sum
+		if h.Count > 0 && h.Min < out.Min {
+			out.Min = h.Min
+		}
+		if h.Count > 0 && h.Max > out.Max {
+			out.Max = h.Max
+		}
+	}
+	if out.Count == 0 {
+		out.Min, out.Max = 0, 0
+	}
+	return out
+}

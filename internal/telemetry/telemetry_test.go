@@ -1,0 +1,304 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"mobbr/internal/sim"
+)
+
+func TestBusStampsVirtualTime(t *testing.T) {
+	eng := sim.New(1)
+	bus := NewBus(eng, 0)
+	eng.Schedule(5*time.Millisecond, func() {
+		bus.Emit(Event{Kind: KindRTO, Conn: 0, Value: 1})
+	})
+	eng.Schedule(20*time.Millisecond, func() {
+		bus.Emit(Event{Kind: KindTCPState, Conn: 1, Old: "open", New: "loss"})
+	})
+	eng.Run(time.Second)
+
+	evs := bus.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	if evs[0].At != 5*time.Millisecond || evs[1].At != 20*time.Millisecond {
+		t.Errorf("timestamps = %v, %v", evs[0].At, evs[1].At)
+	}
+	if got := bus.Filter(KindTCPState); len(got) != 1 || got[0].New != "loss" {
+		t.Errorf("Filter(KindTCPState) = %v", got)
+	}
+	if !bus.Enabled() {
+		t.Error("non-nil bus reports disabled")
+	}
+}
+
+func TestBusCapDrops(t *testing.T) {
+	eng := sim.New(1)
+	bus := NewBus(eng, 2)
+	for i := 0; i < 5; i++ {
+		bus.Emit(Event{Kind: KindRTO})
+	}
+	if len(bus.Events()) != 2 {
+		t.Errorf("kept %d events, want 2", len(bus.Events()))
+	}
+	if bus.Dropped() != 3 {
+		t.Errorf("dropped = %d, want 3", bus.Dropped())
+	}
+}
+
+// The disabled state is a nil pointer everywhere; every recording method
+// must be a no-op that allocates nothing — this is the hot-path contract
+// the instrumented transport relies on.
+func TestNilReceiversZeroAlloc(t *testing.T) {
+	var bus *Bus
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	var p *Profile
+	var coll *EngineCollector
+	allocs := testing.AllocsPerRun(100, func() {
+		bus.Emit(Event{Kind: KindPacingTimer, Value: 1})
+		c.Inc()
+		c.Add(3)
+		g.Set(1.5)
+		h.Observe(42)
+		p.Add("net", "pacing_timer", 16000)
+		p.SetPhase("during")
+	})
+	if allocs != 0 {
+		t.Errorf("disabled telemetry allocated %.1f allocs/op, want 0", allocs)
+	}
+	if bus.Events() != nil || bus.Dropped() != 0 || bus.Enabled() {
+		t.Error("nil bus accessors not inert")
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil instrument accessors not inert")
+	}
+	if r.Counter("x") != nil || r.Gauge("y") != nil || r.Histogram("z", nil) != nil || r.Snapshot() != nil {
+		t.Error("nil registry should hand out nil instruments")
+	}
+	if NewConnMetrics(nil, 0) != nil {
+		t.Error("NewConnMetrics(nil) should be nil")
+	}
+	if coll.Stop() != nil {
+		t.Error("nil collector Stop should be nil")
+	}
+	if err := bus.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil bus WriteJSONL: %v", err)
+	}
+}
+
+func TestWriteJSONLDeterministicAndParseable(t *testing.T) {
+	mk := func() *bytes.Buffer {
+		eng := sim.New(7)
+		bus := NewBus(eng, 0)
+		eng.Schedule(time.Millisecond, func() {
+			bus.Emit(Event{Kind: KindCCMode, Conn: 0, Old: "STARTUP", New: "DRAIN"})
+			bus.Emit(Event{Kind: KindPacingTimer, Conn: 1, Value: 12.5})
+			bus.Emit(Event{Kind: KindViolation, Conn: -1, New: "cwnd/bounds", Old: `detail with "quotes"`})
+		})
+		eng.Run(10 * time.Millisecond)
+		var buf bytes.Buffer
+		if err := bus.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	a, b := mk(), mk()
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("identical runs produced different JSONL:\n%s\nvs\n%s", a, b)
+	}
+	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3", len(lines))
+	}
+	var prev int64 = -1
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("unparseable line %q: %v", line, err)
+		}
+		tns := int64(m["t_ns"].(float64))
+		if tns < prev {
+			t.Errorf("t_ns went backwards: %d after %d", tns, prev)
+		}
+		prev = tns
+		if m["kind"] == "" {
+			t.Errorf("line missing kind: %q", line)
+		}
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	h := newHistogram([]float64{10, 100})
+	for _, v := range []float64{1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 139 {
+		t.Errorf("mean = %v, want 139", got)
+	}
+	// Buckets: ≤10 ×2, ≤100 ×1, overflow ×1.
+	if h.counts[0] != 2 || h.counts[1] != 1 || h.counts[2] != 1 {
+		t.Errorf("counts = %v", h.counts)
+	}
+	if got := h.Quantile(0.5); got != 10 {
+		t.Errorf("p50 = %v, want 10", got)
+	}
+	if got := h.Quantile(1); got != 500 {
+		t.Errorf("p100 = %v, want max 500 (overflow bucket)", got)
+	}
+}
+
+func TestRegistrySnapshotAndWrite(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("acks").Add(7)
+	r.Gauge("speed").Set(2.5)
+	r.Histogram("gap_ms", []float64{1, 10}).Observe(3)
+	if r.Counter("acks") != r.Counter("acks") {
+		t.Error("same name must return the same counter")
+	}
+	s := r.Snapshot()
+	if s.Counters["acks"] != 7 || s.Gauges["speed"] != 2.5 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	hs := s.Histograms["gap_ms"]
+	if hs.Count != 1 || hs.Min != 3 || hs.Max != 3 {
+		t.Errorf("hist snapshot = %+v", hs)
+	}
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"acks", "speed", "gap_ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMergedHistogram(t *testing.T) {
+	r := NewRegistry()
+	NewConnMetrics(r, 0).AckBatch.Observe(4)
+	NewConnMetrics(r, 1).AckBatch.Observe(8)
+	m := r.Snapshot().MergedHistogram("/ack_batch_pkts")
+	if m.Count != 2 || m.Min != 4 || m.Max != 8 {
+		t.Errorf("merged = %+v", m)
+	}
+	if m.Mean() != 6 {
+		t.Errorf("merged mean = %v, want 6", m.Mean())
+	}
+	if empty := r.Snapshot().MergedHistogram("/nope"); empty.Count != 0 || empty.Min != 0 {
+		t.Errorf("empty merge = %+v", empty)
+	}
+}
+
+func TestProfileSharesAndOutput(t *testing.T) {
+	p := NewProfile()
+	p.Add("net", "pacing_timer", 100)
+	p.Add("net", "seg_xmit", 300)
+	p.SetPhase("during")
+	p.Add("net", "pacing_timer", 200)
+	p.Add("app", "data_copy", 50)
+
+	if got := p.CoreTotal("net"); got != 600 {
+		t.Errorf("net total = %v, want 600", got)
+	}
+	if got := p.Share("net", "pacing_timer"); got != 0.5 {
+		t.Errorf("pacing share = %v, want 0.5", got)
+	}
+	if got := p.PhaseShare("net", "during", "pacing_timer"); got != 1 {
+		t.Errorf("during pacing share = %v, want 1", got)
+	}
+
+	var tbl bytes.Buffer
+	if err := p.WriteTable(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "pacing_timer") || !strings.Contains(tbl.String(), "during") {
+		t.Errorf("table output:\n%s", tbl.String())
+	}
+
+	var folded bytes.Buffer
+	if err := p.WriteFolded(&folded); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(folded.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("folded lines = %d, want 4:\n%s", len(lines), folded.String())
+	}
+	for _, line := range lines {
+		// Folded-stack format: "core;phase;op cycles".
+		parts := strings.Split(line, " ")
+		if len(parts) != 2 || strings.Count(parts[0], ";") != 2 {
+			t.Errorf("bad folded line %q", line)
+		}
+	}
+}
+
+func TestEngineCollector(t *testing.T) {
+	eng := sim.New(3)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < 100 {
+			eng.Schedule(time.Millisecond, tick)
+		}
+	}
+	eng.Schedule(0, tick)
+	coll := StartEngineCollector(eng)
+	eng.Run(time.Second)
+	st := coll.Stop()
+	if st == nil {
+		t.Fatal("nil stats")
+	}
+	if st.Events < 100 {
+		t.Errorf("events = %d, want >= 100", st.Events)
+	}
+	if st.VirtualTime != time.Second {
+		t.Errorf("virtual time = %v", st.VirtualTime)
+	}
+	if st.MaxPending < 1 {
+		t.Errorf("max pending = %d", st.MaxPending)
+	}
+	if math.IsNaN(st.EventsPerSec) || st.EventsPerSec <= 0 {
+		t.Errorf("events/sec = %v", st.EventsPerSec)
+	}
+	var buf bytes.Buffer
+	if err := st.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "events") {
+		t.Errorf("stats text: %q", buf.String())
+	}
+}
+
+func TestConfigAny(t *testing.T) {
+	if (Config{}).Any() {
+		t.Error("zero config reports Any")
+	}
+	for _, c := range []Config{{Trace: true}, {Metrics: true}, {Profile: true}} {
+		if !c.Any() {
+			t.Errorf("%+v should report Any", c)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindPacingTimer.String() != "pacing_timer" {
+		t.Errorf("KindPacingTimer = %q", KindPacingTimer)
+	}
+	if Kind(200).String() != "unknown" {
+		t.Errorf("out-of-range kind = %q", Kind(200))
+	}
+}

@@ -3,6 +3,12 @@
 // the BBR state-machine mode — for debugging, verification, and plotting.
 // It is the simulation-side analogue of polling `ss -ti` during an iPerf
 // run.
+//
+// The recorder is a thin compatibility wrapper over the telemetry bus:
+// every observation is a telemetry.KindSample event, so `-trace` JSONL
+// output and the CSV/plotting API read from the same stream. Attach a
+// shared bus with SetBus to interleave samples with transport events; the
+// recorder otherwise runs a private bus.
 package trace
 
 import (
@@ -14,6 +20,7 @@ import (
 	"mobbr/internal/cc/bbrv2"
 	"mobbr/internal/sim"
 	"mobbr/internal/tcp"
+	"mobbr/internal/telemetry"
 )
 
 // Sample is one observation of one connection.
@@ -39,8 +46,7 @@ type Recorder struct {
 	eng    *sim.Engine
 	conns  []*tcp.Conn
 	period time.Duration
-
-	samples []Sample
+	bus    *telemetry.Bus
 }
 
 // New returns a recorder for conns sampling every period (default 50 ms).
@@ -52,25 +58,32 @@ func New(eng *sim.Engine, conns []*tcp.Conn, period time.Duration) *Recorder {
 	return &Recorder{eng: eng, conns: conns, period: period}
 }
 
-// Start schedules periodic sampling.
+// SetBus directs samples onto a shared telemetry bus instead of a private
+// one. Call before Start.
+func (r *Recorder) SetBus(b *telemetry.Bus) { r.bus = b }
+
+// Start schedules periodic sampling. The first sample is taken at t=0 (well,
+// at Start's virtual time) so traces capture the initial state — cwnd at
+// IW, mode at STARTUP — not the state one period in.
 func (r *Recorder) Start() {
-	r.eng.Schedule(r.period, r.tick)
+	if r.bus == nil {
+		r.bus = telemetry.NewBus(r.eng, telemetry.DefaultMaxEvents)
+	}
+	r.eng.Schedule(0, r.tick)
 }
 
 func (r *Recorder) tick() {
-	now := r.eng.Now()
 	for _, c := range r.conns {
 		st := c.Stats()
-		s := Sample{
-			At:         now,
-			Conn:       c.ID(),
-			CwndPkts:   st.Cwnd,
-			Inflight:   c.PacketsInFlight(),
-			PacingMbps: float64(st.PacingRate) / 1e6,
-			SRTTms:     float64(st.SRTT) / 1e6,
-			Mode:       ccMode(c),
-		}
-		r.samples = append(r.samples, s)
+		r.bus.Emit(telemetry.Event{
+			Kind:  telemetry.KindSample,
+			Conn:  c.ID(),
+			New:   ccMode(c),
+			Value: float64(st.Cwnd),
+			V2:    float64(c.PacketsInFlight()),
+			V3:    float64(st.PacingRate) / 1e6,
+			V4:    float64(st.SRTT) / 1e6,
+		})
 	}
 	r.eng.Schedule(r.period, r.tick)
 }
@@ -87,13 +100,29 @@ func ccMode(c *tcp.Conn) string {
 	}
 }
 
-// Samples returns all recorded samples in time order.
-func (r *Recorder) Samples() []Sample { return r.samples }
+// Samples returns all recorded samples in time order, decoded from the
+// bus's KindSample events.
+func (r *Recorder) Samples() []Sample {
+	events := r.bus.Filter(telemetry.KindSample)
+	out := make([]Sample, 0, len(events))
+	for _, e := range events {
+		out = append(out, Sample{
+			At:         e.At,
+			Conn:       e.Conn,
+			CwndPkts:   int(e.Value),
+			Inflight:   int(e.V2),
+			PacingMbps: e.V3,
+			SRTTms:     e.V4,
+			Mode:       e.New,
+		})
+	}
+	return out
+}
 
 // ConnSamples returns the samples of one connection, in time order.
 func (r *Recorder) ConnSamples(id int) []Sample {
 	var out []Sample
-	for _, s := range r.samples {
+	for _, s := range r.Samples() {
 		if s.Conn == id {
 			out = append(out, s)
 		}
@@ -121,7 +150,7 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "t_s,conn,cwnd,inflight,pacing_mbps,srtt_ms,mode"); err != nil {
 		return err
 	}
-	for _, s := range r.samples {
+	for _, s := range r.Samples() {
 		if _, err := fmt.Fprintf(w, "%.3f,%d,%d,%d,%.2f,%.3f,%s\n",
 			s.At.Seconds(), s.Conn, s.CwndPkts, s.Inflight,
 			s.PacingMbps, s.SRTTms, s.Mode); err != nil {

@@ -72,8 +72,12 @@ func TestSamplesMonotoneAndComplete(t *testing.T) {
 	sess.Run()
 
 	all := rec.Samples()
-	if len(all) != 3*10 {
-		t.Fatalf("samples = %d, want 30 (3 conns × 10 ticks)", len(all))
+	// Ticks at t=0 (initial state), 100ms, …, 1000ms inclusive.
+	if len(all) != 3*11 {
+		t.Fatalf("samples = %d, want 33 (3 conns × 11 ticks incl. t=0)", len(all))
+	}
+	if all[0].At != 0 {
+		t.Errorf("first sample at %v, want t=0", all[0].At)
 	}
 	var last time.Duration
 	for _, s := range all {
@@ -88,8 +92,8 @@ func TestSamplesMonotoneAndComplete(t *testing.T) {
 			t.Errorf("non-positive cwnd sample")
 		}
 	}
-	if got := len(rec.ConnSamples(1)); got != 10 {
-		t.Errorf("conn 1 samples = %d, want 10", got)
+	if got := len(rec.ConnSamples(1)); got != 11 {
+		t.Errorf("conn 1 samples = %d, want 11", got)
 	}
 }
 

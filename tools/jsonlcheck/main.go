@@ -1,0 +1,63 @@
+// Command jsonlcheck validates a JSONL telemetry trace: the file must be
+// non-empty, every line must be a JSON object, and the virtual timestamps
+// (t_ns) must be monotonically non-decreasing. CI runs it against the
+// output of a short `mobbr -trace` run.
+//
+// Usage: jsonlcheck FILE
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: jsonlcheck FILE")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lines := 0
+	prev := int64(-1)
+	for sc.Scan() {
+		lines++
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			fmt.Fprintf(os.Stderr, "%s:%d: unparseable JSONL: %v\n", os.Args[1], lines, err)
+			os.Exit(1)
+		}
+		if kind, _ := m["kind"].(string); kind == "" {
+			fmt.Fprintf(os.Stderr, "%s:%d: missing kind\n", os.Args[1], lines)
+			os.Exit(1)
+		}
+		tns, ok := m["t_ns"].(float64)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "%s:%d: missing t_ns\n", os.Args[1], lines)
+			os.Exit(1)
+		}
+		if int64(tns) < prev {
+			fmt.Fprintf(os.Stderr, "%s:%d: t_ns %d < previous %d\n", os.Args[1], lines, int64(tns), prev)
+			os.Exit(1)
+		}
+		prev = int64(tns)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if lines == 0 {
+		fmt.Fprintf(os.Stderr, "%s: empty trace\n", os.Args[1])
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d events ok\n", os.Args[1], lines)
+}
