@@ -13,7 +13,9 @@ import (
 
 	"mobbr/internal/core"
 	"mobbr/internal/device"
+	"mobbr/internal/mobility"
 	"mobbr/internal/render"
+	"mobbr/internal/repro"
 )
 
 func run(spec core.Spec, dur time.Duration) float64 {
@@ -29,6 +31,9 @@ func run(spec core.Spec, dur time.Duration) float64 {
 
 func main() {
 	dur := flag.Duration("dur", 3*time.Second, "simulated duration per point")
+	trFile := flag.String("trace-file", "", "trace figure: replay this dataset trace (.csv, .jsonl)")
+	trPre := flag.String("trace-preset", "driving", "trace figure: synthesize this commute when no -trace-file")
+	trSeed := flag.Int64("trace-seed", 1, "trace figure: synthesis seed")
 	flag.Parse()
 
 	// Figure 2a: Low-End, BBR vs Cubic across connection counts.
@@ -95,6 +100,65 @@ func main() {
 		f8 = append(f8, ch)
 	}
 	if err := render.Grouped(os.Stdout, "Mbps", 700, f8...); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	traceFigure(*trFile, *trPre, *trSeed)
+}
+
+// traceFigure replays a commute trace (dataset file or synthesized preset)
+// with BBR on the Low-End configuration and draws goodput over time, with
+// the trace's outage and degraded segments shaded.
+func traceFigure(file, preset string, seed int64) {
+	tr, err := repro.LoadTrace(file, preset, 12*time.Second, 0, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	e, err := repro.NewTraceExperiment(tr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	spec := e.Points[0].Spec // bbr Low-End
+	spec.Seed = 1
+	spec.Interval = 500 * time.Millisecond
+	res, err := core.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	segAt := func(at time.Duration) *mobility.Segment {
+		for i := range e.Compiled.Segments {
+			s := &e.Compiled.Segments[i]
+			if at >= s.Start && at < s.End {
+				return s
+			}
+		}
+		return nil
+	}
+	fmt.Printf("═══ Trace replay — %s, bbr Low-End (▒ = outage/degraded) ═══\n", e.Compiled.Trace.Name)
+	tl := render.Timeline{Title: "goodput over time", Unit: "Mbps", Width: 40}
+	var lastSeg *mobility.Segment
+	for _, iv := range res.Report.Intervals {
+		mid := iv.Start + (iv.End-iv.Start)/2
+		seg := segAt(mid)
+		b := render.TimeBucket{
+			Label: fmt.Sprintf("%5.1fs", iv.Start.Seconds()),
+			Value: iv.Goodput.Mbit(),
+		}
+		if seg != nil && seg.Kind != mobility.SegNominal {
+			b.Shaded = true
+		}
+		if seg != nil && seg != lastSeg && seg.Kind != mobility.SegNominal {
+			b.Note = "◀ " + seg.Kind.String()
+		}
+		lastSeg = seg
+		tl.Buckets = append(tl.Buckets, b)
+	}
+	if err := tl.Write(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -24,6 +24,10 @@ func main() {
 	dur := flag.Duration("dur", repro.DefaultDuration, "simulated transfer duration per run")
 	seeds := flag.Int("seeds", repro.DefaultSeeds, "seeds per point")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	trFile := flag.String("trace-file", "", "with -exp trace: replay this dataset trace (.csv, .jsonl)")
+	trPre := flag.String("trace-preset", "driving", "with -exp trace: synthesize this commute when no -trace-file")
+	trSeed := flag.Int64("trace-seed", 1, "with -exp trace: synthesis seed")
+	trTick := flag.Duration("trace-tick", 0, "with -exp trace: synthesis sample spacing (default 100ms)")
 	traceTo := flag.String("trace", "", "write the last point's last-seed telemetry events as JSONL to FILE (- = stdout)")
 	metrics := flag.Bool("metrics", false, "collect metrics and print the last point's snapshot + engine self-metrics")
 	profile := flag.Bool("profile", false, "profile CPU cycles and add the pace% column; prints the last point's table")
@@ -37,6 +41,7 @@ func main() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
 		fmt.Printf("%-10s %s\n", rec.ID, rec.Title)
+		fmt.Printf("%-10s %s\n", "trace", "Trace replay: BBR vs BBRv2 vs Cubic over a measured or synthesized commute (-trace-file / -trace-preset)")
 		return
 	}
 
@@ -54,6 +59,26 @@ func main() {
 	start := time.Now()
 	exps := repro.All()
 	if *exp != "" {
+		if *exp == "trace" {
+			tr, err := repro.LoadTrace(*trFile, *trPre, *dur, *trTick, *trSeed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			e, err := repro.NewTraceExperiment(tr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			rows, err := repro.RunTrace(e, *seeds)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			repro.PrintTrace(os.Stdout, e, rows)
+			fmt.Printf("(wall time %v)\n", time.Since(start).Round(time.Millisecond))
+			return
+		}
 		if *exp == rec.ID {
 			runRecovery()
 			fmt.Printf("(wall time %v)\n", time.Since(start).Round(time.Millisecond))

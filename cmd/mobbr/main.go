@@ -9,6 +9,8 @@
 //	mobbr -cc bbr -pacing=off -conns 20
 //	mobbr -cc bbr -fixed-rate 140Mbps -fixed-cwnd 70
 //	mobbr -exp recovery -seeds 3
+//	mobbr -exp trace -trace-file internal/mobility/testdata/irish4g_sample.csv
+//	mobbr -exp trace -trace-preset train -dur 30s -trace-seed 7
 package main
 
 import (
@@ -49,7 +51,11 @@ func main() {
 		tcQueue = flag.Int("tc-queue", 0, "router queue depth in packets")
 		tcECN   = flag.Int("tc-ecn", 0, "router ECN marking threshold in packets (0 = off)")
 		seed    = flag.Int64("seed", 1, "base RNG seed")
-		expName = flag.String("exp", "", "run a named repro experiment instead (e.g. recovery; see mobbr-repro -list)")
+		expName = flag.String("exp", "", "run a named repro experiment instead (e.g. recovery, trace; see mobbr-repro -list)")
+		trFile  = flag.String("trace-file", "", "with -exp trace: replay this dataset trace (.csv, .jsonl)")
+		trPre   = flag.String("trace-preset", "driving", "with -exp trace: synthesize this commute when no -trace-file (stationary, walking, driving, train)")
+		trSeed  = flag.Int64("trace-seed", 1, "with -exp trace: synthesis seed")
+		trTick  = flag.Duration("trace-tick", 0, "with -exp trace: synthesis sample spacing (default 100ms)")
 		traceTo = flag.String("trace", "", "write the last run's telemetry events as JSONL to FILE (- = stdout)")
 		metrics = flag.Bool("metrics", false, "collect and print the metrics registry and engine self-metrics")
 		profile = flag.Bool("profile", false, "print the cycle-attribution profile (core × phase × op)")
@@ -64,6 +70,10 @@ func main() {
 	}
 
 	if *expName != "" {
+		if strings.EqualFold(*expName, "trace") {
+			runTraceExperiment(*trFile, *trPre, *dur, *trTick, *trSeed, *seeds)
+			return
+		}
 		runExperiment(*expName, *dur, *seeds, tel, *traceTo, *metrics, *profile, *folded)
 		return
 	}
@@ -268,6 +278,24 @@ func writeTelemetry(res *core.Result, traceTo string, metrics, profile bool, fol
 			}
 		}
 	}
+}
+
+// runTraceExperiment replays a dataset file or synthesized preset commute
+// (-exp trace) through the BBR/BBRv2/Cubic × Low-End/Default grid.
+func runTraceExperiment(file, preset string, dur, tick time.Duration, traceSeed int64, seeds int) {
+	tr, err := repro.LoadTrace(file, preset, dur, tick, traceSeed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	e, err := repro.NewTraceExperiment(tr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rows, err := repro.RunTrace(e, seeds)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	repro.PrintTrace(os.Stdout, e, rows)
 }
 
 // runExperiment runs one repro experiment by id, like mobbr-repro -exp.

@@ -24,6 +24,7 @@ import (
 	"mobbr/internal/faults"
 	"mobbr/internal/iperf"
 	"mobbr/internal/mastermod"
+	"mobbr/internal/mobility"
 	"mobbr/internal/netem"
 	"mobbr/internal/sim"
 	"mobbr/internal/stats"
@@ -113,6 +114,10 @@ type Spec struct {
 	// burst loss. Schedule.Hop indexes the chosen network's hops (0 is
 	// the hop at the sender — devnic, air or radio).
 	Faults faults.Schedule
+	// Mobility replays a compiled bandwidth/RTT/loss trace on the path:
+	// its fault schedule is installed and its segment timeline is
+	// published on the telemetry bus. Mutually exclusive with Faults.
+	Mobility *mobility.Compiled
 	// Check arms the sim-wide invariant checker (internal/check): every
 	// connection's bookkeeping is audited throughout the run and Run
 	// returns a structured error when an invariant is violated.
@@ -204,6 +209,14 @@ func (s Spec) Validate() error {
 	}
 	if err := s.Faults.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
+	}
+	if s.Mobility != nil {
+		if !s.Faults.Empty() {
+			return fmt.Errorf("core: Mobility and Faults are mutually exclusive (the trace compiles to its own schedule)")
+		}
+		if err := s.Mobility.Schedule.Validate(); err != nil {
+			return fmt.Errorf("core: mobility trace %q: %w", s.Mobility.Trace.Name, err)
+		}
 	}
 	return nil
 }
@@ -348,18 +361,25 @@ func Run(spec Spec) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	if !spec.Faults.Empty() {
-		if err := spec.Faults.InstallObserved(eng, path, bus); err != nil {
+	sched := spec.Faults
+	if spec.Mobility != nil {
+		sched = spec.Mobility.Schedule
+		if err := spec.Mobility.Install(eng, path, bus); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	} else if !sched.Empty() {
+		if err := sched.InstallObserved(eng, path, bus); err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
 	if prof != nil {
 		// Phase attribution: cycles before, during, and after the fault
-		// window. With no faults the whole run is one "run" phase.
-		if start, end, ok := spec.Faults.Window(); ok {
+		// window. With no faults the whole run is one "run" phase; an
+		// open-ended schedule never leaves "during".
+		if start, end, open, ok := sched.Window(); ok {
 			prof.SetPhase("before")
 			eng.Schedule(start, func() { prof.SetPhase("during") })
-			if end > start {
+			if end > start && !open {
 				eng.Schedule(end, func() { prof.SetPhase("after") })
 			}
 		}

@@ -24,10 +24,12 @@ type Event interface {
 	Validate() error
 	// install arms the event's engine callbacks against the target pipe.
 	install(eng *sim.Engine, pipe *netem.Pipe)
-	// window returns the event's active interval [start, end]. Instantaneous
-	// events return start == end; open-ended ones (BurstLoss with Duration
-	// 0) return end == start as well — the caller treats the tail as open.
-	window() (start, end time.Duration)
+	// window returns the event's active interval [start, end].
+	// Instantaneous events return start == end. Open-ended events
+	// (BurstLoss with Duration 0) return end == start and open == true:
+	// their effect persists to the end of the run, so the true interval
+	// is [start, run end).
+	window() (start, end time.Duration, open bool)
 	// String describes the event for logs and error messages.
 	String() string
 }
@@ -56,8 +58,8 @@ func (b Blackout) install(eng *sim.Engine, pipe *netem.Pipe) {
 	eng.Schedule(b.Start+b.Duration, pipe.Resume)
 }
 
-func (b Blackout) window() (time.Duration, time.Duration) {
-	return b.Start, b.Start + b.Duration
+func (b Blackout) window() (time.Duration, time.Duration, bool) {
+	return b.Start, b.Start + b.Duration, false
 }
 
 // String implements Event.
@@ -87,7 +89,7 @@ func (r RateStep) install(eng *sim.Engine, pipe *netem.Pipe) {
 	eng.Schedule(r.At, func() { pipe.SetRate(r.Rate) })
 }
 
-func (r RateStep) window() (time.Duration, time.Duration) { return r.At, r.At }
+func (r RateStep) window() (time.Duration, time.Duration, bool) { return r.At, r.At, false }
 
 // String implements Event.
 func (r RateStep) String() string {
@@ -119,8 +121,14 @@ func (r RateRamp) Validate() error {
 	if r.Steps < 0 {
 		return fmt.Errorf("faults: rate ramp steps %d is negative", r.Steps)
 	}
+	if r.Steps > maxRampSteps {
+		return fmt.Errorf("faults: rate ramp steps %d exceeds %d (each step schedules an engine event)", r.Steps, maxRampSteps)
+	}
 	return nil
 }
+
+// maxRampSteps bounds the engine events one ramp may schedule.
+const maxRampSteps = 10_000
 
 func (r RateRamp) install(eng *sim.Engine, pipe *netem.Pipe) {
 	steps := r.Steps
@@ -135,8 +143,8 @@ func (r RateRamp) install(eng *sim.Engine, pipe *netem.Pipe) {
 	}
 }
 
-func (r RateRamp) window() (time.Duration, time.Duration) {
-	return r.Start, r.Start + r.Duration
+func (r RateRamp) window() (time.Duration, time.Duration, bool) {
+	return r.Start, r.Start + r.Duration, false
 }
 
 // String implements Event.
@@ -175,8 +183,8 @@ func (d DelaySpike) install(eng *sim.Engine, pipe *netem.Pipe) {
 	})
 }
 
-func (d DelaySpike) window() (time.Duration, time.Duration) {
-	return d.Start, d.Start + d.Duration
+func (d DelaySpike) window() (time.Duration, time.Duration, bool) {
+	return d.Start, d.Start + d.Duration, false
 }
 
 // String implements Event.
@@ -212,13 +220,44 @@ func (b BurstLoss) install(eng *sim.Engine, pipe *netem.Pipe) {
 	}
 }
 
-func (b BurstLoss) window() (time.Duration, time.Duration) {
-	return b.Start, b.Start + b.Duration // Duration 0 → open-ended tail
+func (b BurstLoss) window() (time.Duration, time.Duration, bool) {
+	// Duration 0 keeps the GE model armed to the end of the run.
+	return b.Start, b.Start + b.Duration, b.Duration == 0
 }
 
 // String implements Event.
 func (b BurstLoss) String() string {
 	return fmt.Sprintf("burst-loss@%v for %v", b.Start, b.Duration)
+}
+
+// DelayStep sets the hop's one-way propagation delay to Delay at time At —
+// an absolute counterpart to DelaySpike for trace replay, where each trace
+// sample dictates the delay directly instead of a temporary excursion.
+type DelayStep struct {
+	At    time.Duration
+	Delay time.Duration
+}
+
+// Validate implements Event.
+func (d DelayStep) Validate() error {
+	if d.At < 0 {
+		return fmt.Errorf("faults: delay step at %v is negative", d.At)
+	}
+	if d.Delay < 0 {
+		return fmt.Errorf("faults: delay step to %v is negative", d.Delay)
+	}
+	return nil
+}
+
+func (d DelayStep) install(eng *sim.Engine, pipe *netem.Pipe) {
+	eng.Schedule(d.At, func() { _ = pipe.SetDelay(d.Delay) })
+}
+
+func (d DelayStep) window() (time.Duration, time.Duration, bool) { return d.At, d.At, false }
+
+// String implements Event.
+func (d DelayStep) String() string {
+	return fmt.Sprintf("delay-step@%v to %v", d.At, d.Delay)
 }
 
 // Handover models a hard vertical handover (LTE→WiFi and back): the link
@@ -265,8 +304,8 @@ func (h Handover) install(eng *sim.Engine, pipe *netem.Pipe) {
 	eng.Schedule(h.At+h.Outage, pipe.Resume)
 }
 
-func (h Handover) window() (time.Duration, time.Duration) {
-	return h.At, h.At + h.Outage
+func (h Handover) window() (time.Duration, time.Duration, bool) {
+	return h.At, h.At + h.Outage, false
 }
 
 // String implements Event.
@@ -304,22 +343,27 @@ func (s Schedule) Validate() error {
 func (s Schedule) Empty() bool { return len(s.Events) == 0 }
 
 // Window returns the envelope of all events: the earliest start and the
-// latest end, for phase attribution (before/during/after the fault window).
-// ok is false when the schedule is empty.
-func (s Schedule) Window() (start, end time.Duration, ok bool) {
+// latest scheduled end, for phase attribution (before/during/after the
+// fault window). open reports that at least one event is open-ended (its
+// effect persists to the end of the run, e.g. BurstLoss with Duration 0),
+// so the true envelope extends past end to the run's end — callers must
+// not treat anything after end as fault-free when open is set. ok is
+// false when the schedule is empty.
+func (s Schedule) Window() (start, end time.Duration, open, ok bool) {
 	if s.Empty() {
-		return 0, 0, false
+		return 0, 0, false, false
 	}
 	for i, ev := range s.Events {
-		es, ee := ev.window()
+		es, ee, eo := ev.window()
 		if i == 0 || es < start {
 			start = es
 		}
 		if ee > end {
 			end = ee
 		}
+		open = open || eo
 	}
-	return start, end, true
+	return start, end, open, true
 }
 
 // Install validates the schedule and arms every event on the target path.
@@ -345,11 +389,12 @@ func (s Schedule) InstallObserved(eng *sim.Engine, path *netem.Path, bus *teleme
 		ev.install(eng, pipe)
 		if bus != nil {
 			desc := ev.String()
-			start, end := ev.window()
+			start, end, open := ev.window()
 			eng.Schedule(start, func() {
 				bus.Emit(telemetry.Event{Kind: telemetry.KindFault, Conn: -1, Old: "begin", New: desc})
 			})
-			if end > start {
+			// Open-ended events never end, so they get no end marker.
+			if end > start && !open {
 				eng.Schedule(end, func() {
 					bus.Emit(telemetry.Event{Kind: telemetry.KindFault, Conn: -1, Old: "end", New: desc})
 				})

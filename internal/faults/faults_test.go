@@ -7,6 +7,7 @@ import (
 	"mobbr/internal/netem"
 	"mobbr/internal/seg"
 	"mobbr/internal/sim"
+	"mobbr/internal/telemetry"
 	"mobbr/internal/units"
 )
 
@@ -280,5 +281,167 @@ func TestScheduleValidate(t *testing.T) {
 	oob := Schedule{Hop: 3, Events: []Event{Blackout{Start: 0, Duration: time.Second}}}
 	if err := oob.Install(eng, path); err == nil {
 		t.Error("out-of-range hop installed")
+	}
+}
+
+// TestEventWindows is the window audit: every event type must report the
+// full interval its effect spans, including effects that extend past their
+// start — the RateRamp's final step, the GE burst's end, the handover's
+// outage — and must flag open-ended events whose effect persists to run end.
+func TestEventWindows(t *testing.T) {
+	ge := netem.GEConfig{PGoodToBad: 0.1, PBadToGood: 0.3, LossBad: 0.8}
+	cases := []struct {
+		name       string
+		ev         Event
+		start, end time.Duration
+		open       bool
+	}{
+		{"blackout", Blackout{Start: time.Second, Duration: 2 * time.Second},
+			time.Second, 3 * time.Second, false},
+		{"rate step (instant)", RateStep{At: time.Second, Rate: units.Mbps},
+			time.Second, time.Second, false},
+		{"rate ramp spans to final step", RateRamp{Start: time.Second, Duration: 4 * time.Second, From: units.Mbps, To: 2 * units.Mbps},
+			time.Second, 5 * time.Second, false},
+		{"delay spike", DelaySpike{Start: time.Second, Duration: 500 * time.Millisecond, Extra: time.Millisecond},
+			time.Second, 1500 * time.Millisecond, false},
+		{"delay step (instant)", DelayStep{At: time.Second, Delay: 10 * time.Millisecond},
+			time.Second, time.Second, false},
+		{"burst loss windowed", BurstLoss{Start: time.Second, Duration: 3 * time.Second, GE: ge},
+			time.Second, 4 * time.Second, false},
+		{"burst loss open-ended", BurstLoss{Start: time.Second, GE: ge},
+			time.Second, time.Second, true},
+		{"handover spans outage", Handover{At: time.Second, Outage: 200 * time.Millisecond, Rate: units.Gbps},
+			time.Second, 1200 * time.Millisecond, false},
+	}
+	for _, c := range cases {
+		s, e, open := c.ev.window()
+		if s != c.start || e != c.end || open != c.open {
+			t.Errorf("%s: window = (%v, %v, %v), want (%v, %v, %v)",
+				c.name, s, e, open, c.start, c.end, c.open)
+		}
+	}
+}
+
+// TestScheduleWindowEnvelope: the schedule's window is the envelope of its
+// events, and an open-ended event anywhere marks the whole schedule open so
+// phase attribution never treats the tail of the run as fault-free.
+func TestScheduleWindowEnvelope(t *testing.T) {
+	ge := netem.GEConfig{PGoodToBad: 0.1, PBadToGood: 0.3, LossBad: 0.8}
+	if _, _, _, ok := (Schedule{}).Window(); ok {
+		t.Error("empty schedule reported a window")
+	}
+	closed := Schedule{Events: []Event{
+		RateStep{At: 2 * time.Second, Rate: units.Mbps},
+		Blackout{Start: time.Second, Duration: 3 * time.Second},
+		Handover{At: 5 * time.Second, Outage: 500 * time.Millisecond, Rate: units.Gbps},
+	}}
+	start, end, open, ok := closed.Window()
+	if !ok || open || start != time.Second || end != 5500*time.Millisecond {
+		t.Errorf("closed envelope = (%v, %v, open=%v, ok=%v), want (1s, 5.5s, false, true)",
+			start, end, open, ok)
+	}
+	// Before the audit fix an open BurstLoss under-reported the envelope:
+	// its end came back as its start, so the profiler entered the "after"
+	// phase while the loss model was still armed.
+	withOpen := Schedule{Events: []Event{
+		Blackout{Start: time.Second, Duration: time.Second},
+		BurstLoss{Start: 4 * time.Second, GE: ge},
+	}}
+	start, end, open, ok = withOpen.Window()
+	if !ok || !open {
+		t.Fatalf("open schedule reported open=%v ok=%v", open, ok)
+	}
+	if start != time.Second || end != 4*time.Second {
+		t.Errorf("open envelope = (%v, %v), want (1s, 4s)", start, end)
+	}
+}
+
+// TestInstallObservedOpenEndedNoEndMarker: an open-ended event emits a begin
+// fault marker but no end marker (it never ends inside the run).
+func TestInstallObservedOpenEndedNoEndMarker(t *testing.T) {
+	eng := sim.New(1)
+	path, err := netem.NewPath(eng, netem.PathConfig{
+		Hops: []netem.PipeConfig{{Rate: units.Mbps, QueuePackets: 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := telemetry.NewBus(eng, 100)
+	sched := Schedule{Events: []Event{
+		BurstLoss{Start: 10 * time.Millisecond, GE: netem.GEConfig{PGoodToBad: 0.1, PBadToGood: 0.3, LossBad: 0.8}},
+		Blackout{Start: 20 * time.Millisecond, Duration: 10 * time.Millisecond},
+	}}
+	if err := sched.InstallObserved(eng, path, bus); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(100 * time.Millisecond)
+	var begins, ends int
+	for _, e := range bus.Filter(telemetry.KindFault) {
+		switch e.Old {
+		case "begin":
+			begins++
+		case "end":
+			ends++
+		}
+	}
+	if begins != 2 {
+		t.Errorf("begin markers = %d, want 2", begins)
+	}
+	if ends != 1 {
+		t.Errorf("end markers = %d, want 1 (open-ended burst never ends)", ends)
+	}
+}
+
+// TestDelayStepSetsAbsoluteDelay: unlike DelaySpike, DelayStep pins the
+// hop's delay and leaves it there.
+func TestDelayStepSetsAbsoluteDelay(t *testing.T) {
+	r := newRig(t, netem.PipeConfig{Rate: units.Gbps, Delay: 5 * time.Millisecond, QueuePackets: 100})
+	sched := Schedule{Events: []Event{
+		DelayStep{At: 50 * time.Millisecond, Delay: 30 * time.Millisecond},
+	}}
+	if err := sched.Install(r.eng, r.path); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	probe := func(at time.Duration) { r.eng.Schedule(at, func() { r.path.Send(&seg.Packet{Len: 1000}) }) }
+	probe(10 * time.Millisecond)  // before: ~5ms
+	probe(60 * time.Millisecond)  // after the step: ~30ms
+	probe(200 * time.Millisecond) // still ~30ms (no restore)
+	r.eng.Run(300 * time.Millisecond)
+	if len(r.delivered) != 3 {
+		t.Fatalf("delivered %d probes, want 3", len(r.delivered))
+	}
+	lat := []time.Duration{
+		r.delivered[0] - 10*time.Millisecond,
+		r.delivered[1] - 60*time.Millisecond,
+		r.delivered[2] - 200*time.Millisecond,
+	}
+	if lat[0] > 6*time.Millisecond {
+		t.Errorf("pre-step latency %v, want ~5ms", lat[0])
+	}
+	if lat[1] < 30*time.Millisecond || lat[2] < 30*time.Millisecond {
+		t.Errorf("post-step latencies %v / %v, want >= 30ms and persistent", lat[1], lat[2])
+	}
+	if got := r.path.Hop(0).Delay(); got != 30*time.Millisecond {
+		t.Errorf("final hop delay %v, want 30ms", got)
+	}
+}
+
+func TestDelayStepAndRampStepsValidate(t *testing.T) {
+	if err := (DelayStep{At: -time.Second}).Validate(); err == nil {
+		t.Error("negative At validated")
+	}
+	if err := (DelayStep{Delay: -time.Second}).Validate(); err == nil {
+		t.Error("negative Delay validated")
+	}
+	if err := (DelayStep{At: time.Second, Delay: 0}).Validate(); err != nil {
+		t.Errorf("zero delay (remove propagation delay) rejected: %v", err)
+	}
+	ramp := RateRamp{Duration: time.Second, From: units.Mbps, To: 2 * units.Mbps, Steps: maxRampSteps + 1}
+	if err := ramp.Validate(); err == nil {
+		t.Error("ramp with excessive steps validated")
+	}
+	ramp.Steps = maxRampSteps
+	if err := ramp.Validate(); err != nil {
+		t.Errorf("ramp at the step cap rejected: %v", err)
 	}
 }

@@ -1,0 +1,56 @@
+package mobility
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTraceParse holds both dataset parsers to their contract: any input —
+// malformed timestamps, non-monotone time, NaN or negative rates, truncated
+// rows, binary garbage — must come back as an error or a valid trace, never
+// a panic. A trace that parses must also pass Validate, Resample, and
+// Compile cleanly (the rest of the pipeline trusts parsed traces).
+func FuzzTraceParse(f *testing.F) {
+	// Well-formed seeds for both shapes.
+	f.Add("timestamp_ms,dl_bitrate_kbps,rtt_ms,loss\n0,5000,50,0\n500,6000,55,0.01\n1000,0,0,1\n1500,4000,60,0\n")
+	f.Add(`{"t_ms": 0, "rate_kbps": 5000, "rtt_ms": 50}` + "\n" + `{"t_ms": 500, "rate_kbps": 0, "loss": 1}` + "\n")
+	// Malformed seeds steering the fuzzer at the validation edges.
+	f.Add("timestamp_ms,rate_kbps\nnope,1\n")
+	f.Add("timestamp_ms,rate_kbps\n0,NaN\n")
+	f.Add("timestamp_ms,rate_kbps\n0,-5\n")
+	f.Add("timestamp_ms,rate_kbps\n100,1\n100,2\n")
+	f.Add("timestamp_ms,rate_kbps\n0,1e309\n")
+	f.Add("timestamp_ms,rate_kbps\n0\n")
+	f.Add(`{"t_ms": 1e309, "rate_kbps": 1}` + "\n")
+	f.Add(`{"t_ms": 0, "rate_kbps": -1}` + "\n")
+	f.Add(`{"t_ms": 0}` + "\n")
+	f.Add(`{"t_ms": 100, "rate_kbps": 1}` + "\n" + `{"t_ms": 100, "rate_kbps": 1}` + "\n")
+	f.Add(`{"t_ms": 0, "rate_kbps": 1, "loss": 7}` + "\n")
+	f.Add("\x00\x01\x02")
+
+	f.Fuzz(func(t *testing.T, in string) {
+		for _, parse := range []func(string) (Trace, error){
+			func(s string) (Trace, error) { return ParseCSV("fuzz", strings.NewReader(s)) },
+			func(s string) (Trace, error) { return ParseJSONL("fuzz", strings.NewReader(s)) },
+		} {
+			tr, err := parse(in)
+			if err != nil {
+				continue
+			}
+			if verr := tr.Validate(); verr != nil {
+				t.Fatalf("parser returned invalid trace: %v\ninput: %q", verr, in)
+			}
+			rs, err := tr.Resample(DefaultTick)
+			if err != nil {
+				// Only the sample-count bound may reject a valid trace.
+				if !strings.Contains(err.Error(), "max") {
+					t.Fatalf("Resample failed on parsed trace: %v\ninput: %q", err, in)
+				}
+				continue
+			}
+			if _, err := Compile(rs, CompileOptions{}); err != nil {
+				t.Fatalf("Compile failed on parsed trace: %v\ninput: %q", err, in)
+			}
+		}
+	})
+}

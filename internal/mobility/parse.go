@@ -1,0 +1,238 @@
+package mobility
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"mobbr/internal/units"
+)
+
+// The parsers accept the two shapes the public cellular datasets come in:
+//
+//   - CSV with a header row, one sample per line, timestamps in
+//     milliseconds and rates in kbit/s — the shape of the Irish 4G
+//     measurement campaign exports (timestamp_ms, dl_bitrate_kbps, …).
+//   - JSONL with one object per line: {"t_ms":…, "rate_kbps":…,
+//     "rtt_ms":…, "loss":…} — the shape the NYC LTE bandwidth traces are
+//     commonly distributed in after conversion from mahimahi format.
+//
+// Both are strict: malformed numbers, NaN/Inf, negative rates or RTTs,
+// loss outside [0,1], and non-monotone timestamps are errors, never
+// panics (FuzzTraceParse holds the parsers to that). Timestamps are
+// normalized so the first sample lands at T = 0.
+
+// CSV column aliases, all matched case-insensitively after trimming.
+var (
+	csvTimeCols = []string{"timestamp_ms", "time_ms", "t_ms"}
+	csvRateCols = []string{"rate_kbps", "dl_bitrate_kbps", "ul_bitrate_kbps", "bandwidth_kbps", "dl_bitrate", "ul_bitrate"}
+	csvRTTCols  = []string{"rtt_ms", "latency_ms", "ping_ms"}
+	csvLossCols = []string{"loss", "loss_rate", "loss_fraction"}
+)
+
+// Load reads a trace file, dispatching on the extension: .csv for the CSV
+// shape, .jsonl or .ndjson for the JSONL shape.
+func Load(path string) (Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Trace{}, fmt.Errorf("mobility: %w", err)
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".csv":
+		return ParseCSV(name, f)
+	case ".jsonl", ".ndjson":
+		return ParseJSONL(name, f)
+	default:
+		return Trace{}, fmt.Errorf("mobility: %s: unknown trace format (want .csv, .jsonl or .ndjson)", path)
+	}
+}
+
+// field parses a float cell, rejecting non-finite and (unless allowNeg)
+// negative values.
+func field(what, raw string, line int) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+	if err != nil {
+		return 0, fmt.Errorf("mobility: line %d: bad %s %q", line, what, raw)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("mobility: line %d: %s %q is not finite", line, what, raw)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("mobility: line %d: negative %s %v", line, what, v)
+	}
+	return v, nil
+}
+
+// appendSample converts one parsed record (ms / kbps domain) into a Sample,
+// enforcing monotone time against the previous sample.
+func appendSample(tr *Trace, tMS, rateKbps, rttMS, loss float64, line int) error {
+	if loss > 1 {
+		return fmt.Errorf("mobility: line %d: loss %v out of [0,1]", line, loss)
+	}
+	t := time.Duration(tMS * float64(time.Millisecond))
+	if n := len(tr.Samples); n > 0 && t <= tr.Samples[n-1].T {
+		return fmt.Errorf("mobility: line %d: timestamp %v not after previous %v",
+			line, t, tr.Samples[n-1].T)
+	}
+	if len(tr.Samples) >= maxSamples {
+		return fmt.Errorf("mobility: line %d: trace exceeds %d samples", line, maxSamples)
+	}
+	tr.Samples = append(tr.Samples, Sample{
+		T:    t,
+		Rate: units.Bandwidth(rateKbps * float64(units.Kbps)),
+		RTT:  time.Duration(rttMS * float64(time.Millisecond)),
+		Loss: loss,
+	})
+	return nil
+}
+
+// ParseCSV parses the CSV dataset shape. The header must name a timestamp
+// column and a rate column (see the alias lists); RTT and loss columns are
+// optional.
+func ParseCSV(name string, r io.Reader) (Trace, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return Trace{}, fmt.Errorf("mobility: %s: reading CSV header: %w", name, err)
+	}
+	col := func(aliases []string) int {
+		for i, h := range header {
+			h = strings.ToLower(strings.TrimSpace(h))
+			for _, a := range aliases {
+				if h == a {
+					return i
+				}
+			}
+		}
+		return -1
+	}
+	tCol, rCol := col(csvTimeCols), col(csvRateCols)
+	rttCol, lCol := col(csvRTTCols), col(csvLossCols)
+	if tCol < 0 {
+		return Trace{}, fmt.Errorf("mobility: %s: no timestamp column (want one of %v)", name, csvTimeCols)
+	}
+	if rCol < 0 {
+		return Trace{}, fmt.Errorf("mobility: %s: no rate column (want one of %v)", name, csvRateCols)
+	}
+	tr := Trace{Name: name}
+	var t0 float64
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Trace{}, fmt.Errorf("mobility: %s: line %d: %w", name, line, err)
+		}
+		need := tCol
+		if rCol > need {
+			need = rCol
+		}
+		if len(rec) <= need {
+			return Trace{}, fmt.Errorf("mobility: %s: line %d: %d columns, need %d", name, line, len(rec), need+1)
+		}
+		tMS, err := field("timestamp", rec[tCol], line)
+		if err != nil {
+			return Trace{}, fmt.Errorf("%s: %w", name, err)
+		}
+		rate, err := field("rate", rec[rCol], line)
+		if err != nil {
+			return Trace{}, fmt.Errorf("%s: %w", name, err)
+		}
+		var rtt, loss float64
+		if rttCol >= 0 && rttCol < len(rec) && strings.TrimSpace(rec[rttCol]) != "" {
+			if rtt, err = field("rtt", rec[rttCol], line); err != nil {
+				return Trace{}, fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		if lCol >= 0 && lCol < len(rec) && strings.TrimSpace(rec[lCol]) != "" {
+			if loss, err = field("loss", rec[lCol], line); err != nil {
+				return Trace{}, fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		if len(tr.Samples) == 0 {
+			t0 = tMS
+		}
+		if err := appendSample(&tr, tMS-t0, rate, rtt, loss, line); err != nil {
+			return Trace{}, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		return Trace{}, err
+	}
+	return tr, nil
+}
+
+// jsonSample is the JSONL wire form. Pointers distinguish "absent" from
+// zero for the required fields.
+type jsonSample struct {
+	TMS      *float64 `json:"t_ms"`
+	RateKbps *float64 `json:"rate_kbps"`
+	RTTMS    float64  `json:"rtt_ms"`
+	Loss     float64  `json:"loss"`
+}
+
+// ParseJSONL parses the JSONL dataset shape: one object per line with
+// required t_ms and rate_kbps fields and optional rtt_ms and loss. Blank
+// lines are skipped.
+func ParseJSONL(name string, r io.Reader) (Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	tr := Trace{Name: name}
+	var t0 float64
+	for line := 1; sc.Scan(); line++ {
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var js jsonSample
+		dec := json.NewDecoder(strings.NewReader(raw))
+		if err := dec.Decode(&js); err != nil {
+			return Trace{}, fmt.Errorf("mobility: %s: line %d: %w", name, line, err)
+		}
+		if js.TMS == nil {
+			return Trace{}, fmt.Errorf("mobility: %s: line %d: missing t_ms", name, line)
+		}
+		if js.RateKbps == nil {
+			return Trace{}, fmt.Errorf("mobility: %s: line %d: missing rate_kbps", name, line)
+		}
+		for _, f := range []struct {
+			what string
+			v    float64
+		}{
+			{"t_ms", *js.TMS}, {"rate_kbps", *js.RateKbps},
+			{"rtt_ms", js.RTTMS}, {"loss", js.Loss},
+		} {
+			if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+				return Trace{}, fmt.Errorf("mobility: %s: line %d: %s is not finite", name, line, f.what)
+			}
+			if f.v < 0 {
+				return Trace{}, fmt.Errorf("mobility: %s: line %d: negative %s %v", name, line, f.what, f.v)
+			}
+		}
+		if len(tr.Samples) == 0 {
+			t0 = *js.TMS
+		}
+		if err := appendSample(&tr, *js.TMS-t0, *js.RateKbps, js.RTTMS, js.Loss, line); err != nil {
+			return Trace{}, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Trace{}, fmt.Errorf("mobility: %s: %w", name, err)
+	}
+	if err := tr.Validate(); err != nil {
+		return Trace{}, err
+	}
+	return tr, nil
+}

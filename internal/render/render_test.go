@@ -82,3 +82,61 @@ func TestGroupedSharedScale(t *testing.T) {
 		t.Errorf("1000/1000 should be full scale:\n%s", out)
 	}
 }
+
+func TestTimelineShading(t *testing.T) {
+	var buf strings.Builder
+	tl := Timeline{
+		Title: "goodput over time",
+		Unit:  "Mbps",
+		Buckets: []TimeBucket{
+			{Label: "0.0s", Value: 10},
+			{Label: "0.5s", Value: 5, Shaded: true, Note: "outage"},
+			{Label: "1.0s", Value: 0, Shaded: true},
+			{Label: "1.5s", Value: 10},
+		},
+		Width: 10,
+	}
+	if err := tl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "goodput over time") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, strings.Repeat("█", 10)) {
+		t.Errorf("full-scale unshaded bar missing:\n%s", out)
+	}
+	if !strings.Contains(out, strings.Repeat("▒", 5)) {
+		t.Errorf("half-scale shaded bar missing:\n%s", out)
+	}
+	if !strings.Contains(out, "outage") {
+		t.Error("note missing")
+	}
+	// A zero-value shaded bucket still shows a shaded sliver, so dark
+	// windows stay visible on the plot.
+	lines := strings.Split(out, "\n")
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "1.0s") && strings.Contains(l, "▒") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("zero-value shaded bucket invisible:\n%s", out)
+	}
+}
+
+func TestTimelineEmptyAndClamp(t *testing.T) {
+	var buf strings.Builder
+	if err := (Timeline{Title: "empty"}).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	tl := Timeline{Title: "t", Max: 100, Width: 10, Buckets: []TimeBucket{{Label: "x", Value: 300}}}
+	if err := tl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), strings.Repeat("█", 11)) {
+		t.Error("bar exceeded the timeline width")
+	}
+}

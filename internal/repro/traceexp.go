@@ -1,0 +1,287 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mobbr/internal/core"
+	"mobbr/internal/device"
+	"mobbr/internal/iperf"
+	"mobbr/internal/mobility"
+	"mobbr/internal/stats"
+)
+
+// The trace experiment replays a real (or synthesized) cellular commute —
+// an ingested bandwidth/RTT/loss trace compiled onto the LTE radio hop —
+// and compares how BBR, BBRv2 and Cubic ride it out on the Low-End and
+// Default CPU configurations. Where the recovery experiment injects one
+// surgical fault, this one subjects the stacks to the full measured
+// sequence: fades, handover outages, lossy stretches, and the recovery
+// after each, reported per trace segment.
+
+// TraceOtherRTT is the round-trip contributed by the non-radio part of the
+// CellularLTE path: the core hop's 2×10 ms plus the 20 ms delayed-ACK
+// timer. The compiler subtracts it from the trace RTT before halving the
+// remainder into the radio hop's one-way delay.
+const TraceOtherRTT = 30 * time.Millisecond
+
+// TraceInterval is the iperf3-style reporting granularity; segment stats
+// are assembled from these intervals.
+const TraceInterval = 100 * time.Millisecond
+
+// DefaultTraceDuration is the synthesized commute length when the CLI asks
+// for a preset without an explicit duration.
+const DefaultTraceDuration = 20 * time.Second
+
+// LoadTrace resolves the CLI's trace source: a dataset file when path is
+// non-empty, otherwise a commute synthesized from the named preset for dur
+// on the given tick and seed (zero values take the defaults).
+func LoadTrace(path, preset string, dur, tick time.Duration, seed int64) (mobility.Trace, error) {
+	if path != "" {
+		return mobility.Load(path)
+	}
+	p, err := mobility.ParsePreset(preset)
+	if err != nil {
+		return mobility.Trace{}, err
+	}
+	if dur <= 0 {
+		dur = DefaultTraceDuration
+	}
+	if tick <= 0 {
+		tick = mobility.DefaultTick
+	}
+	return mobility.Synthesize(p, dur, tick, seed)
+}
+
+// CompileTrace lowers a trace for replay on the CellularLTE path: irregular
+// (dataset) traces are first resampled to the default tick, then compiled
+// against the radio hop (hop 0) with the LTE path's non-radio RTT share.
+func CompileTrace(tr mobility.Trace) (*mobility.Compiled, error) {
+	if tr.Tick == 0 {
+		rs, err := tr.Resample(mobility.DefaultTick)
+		if err != nil {
+			return nil, err
+		}
+		tr = rs
+	}
+	return mobility.Compile(tr, mobility.CompileOptions{
+		Hop:      0,
+		OtherRTT: TraceOtherRTT,
+	})
+}
+
+// TracePoint is one cell of the trace experiment.
+type TracePoint struct {
+	// Label names the cell, e.g. "bbr Low-End".
+	Label string
+	// CC is the congestion control under test.
+	CC string
+	// Spec is the ready-to-run experiment with the compiled trace armed.
+	Spec core.Spec
+}
+
+// TraceExperiment replays one compiled trace across congestion controls and
+// CPU configurations. It needs its own runner because the deliverable is
+// the per-segment breakdown, not whole-run means.
+type TraceExperiment struct {
+	ID       string
+	Title    string
+	Compiled *mobility.Compiled
+	Points   []TracePoint
+}
+
+// NewTraceExperiment compiles the trace and builds the point grid:
+// {bbr, bbr2, cubic} × {Low-End, Default}, single connection over the LTE
+// uplink, invariant checker armed, run for exactly the trace's duration.
+func NewTraceExperiment(tr mobility.Trace) (TraceExperiment, error) {
+	c, err := CompileTrace(tr)
+	if err != nil {
+		return TraceExperiment{}, err
+	}
+	dur := c.Trace.Duration()
+	warmup := dur / 5
+	if warmup > time.Second {
+		warmup = time.Second
+	}
+	var pts []TracePoint
+	for _, cfg := range []device.Config{device.LowEnd, device.Default} {
+		for _, ccName := range []string{"bbr", "bbr2", "cubic"} {
+			s := core.Spec{
+				Device:   device.Pixel4,
+				CPU:      cfg,
+				CC:       ccName,
+				Conns:    1,
+				Network:  core.Cellular,
+				Duration: dur,
+				Warmup:   warmup,
+				Interval: TraceInterval,
+				Mobility: c,
+				Check:    true,
+			}
+			pts = append(pts, TracePoint{
+				Label: fmt.Sprintf("%s %s", ccName, cfg),
+				CC:    ccName,
+				Spec:  s,
+			})
+		}
+	}
+	return TraceExperiment{
+		ID:       "trace",
+		Title:    fmt.Sprintf("Trace replay %q: BBR vs BBRv2 vs Cubic over a measured commute", c.Trace.Name),
+		Compiled: c,
+		Points:   pts,
+	}, nil
+}
+
+// TraceSegmentRow summarizes one trace segment for one point.
+type TraceSegmentRow struct {
+	Segment mobility.Segment
+	// GoodputMbps is the seed-mean goodput across the segment's intervals.
+	GoodputMbps float64
+	// RTTms is the seed-mean smoothed RTT across the segment's intervals.
+	RTTms float64
+	// Retransmits is the seed-mean retransmission count in the segment.
+	Retransmits float64
+}
+
+// TraceRow is the measured outcome of one trace point.
+type TraceRow struct {
+	Point TracePoint
+	// GoodputMbps / GoodputCI are the whole-run seed mean and 95% CI.
+	GoodputMbps float64
+	GoodputCI   float64
+	// RTTms is the seed-mean smoothed RTT over the whole run.
+	RTTms float64
+	// Retransmits is the seed-mean total retransmissions.
+	Retransmits float64
+	// Segments is the per-segment breakdown, parallel to
+	// Point.Spec.Mobility.Segments.
+	Segments []TraceSegmentRow
+}
+
+// segmentStats folds one run's interval series into per-segment sums.
+// Intervals are assigned to the segment containing their midpoint.
+func segmentStats(ivals []iperf.Interval, segs []mobility.Segment) []TraceSegmentRow {
+	rows := make([]TraceSegmentRow, len(segs))
+	counts := make([]int, len(segs))
+	for i := range rows {
+		rows[i].Segment = segs[i]
+	}
+	for _, iv := range ivals {
+		mid := iv.Start + (iv.End-iv.Start)/2
+		for i, s := range segs {
+			if mid >= s.Start && mid < s.End {
+				rows[i].GoodputMbps += iv.Goodput.Mbit()
+				rows[i].RTTms += float64(iv.AvgRTT) / 1e6
+				rows[i].Retransmits += float64(iv.Retransmits)
+				counts[i]++
+				break
+			}
+		}
+	}
+	for i := range rows {
+		if counts[i] > 0 {
+			rows[i].GoodputMbps /= float64(counts[i])
+			rows[i].RTTms /= float64(counts[i])
+		}
+	}
+	return rows
+}
+
+// RunTrace executes every point across seeds. Runs are deterministic per
+// (seed, trace): same inputs, same rows, byte for byte.
+func RunTrace(e TraceExperiment, seeds int) ([]TraceRow, error) {
+	if seeds <= 0 {
+		seeds = 1
+	}
+	rows := make([]TraceRow, 0, len(e.Points))
+	for _, p := range e.Points {
+		var goodput, rtt, retx stats.Online
+		segs := e.Compiled.Segments
+		segAcc := make([]TraceSegmentRow, len(segs))
+		for i := range segAcc {
+			segAcc[i].Segment = segs[i]
+		}
+		for s := 0; s < seeds; s++ {
+			spec := p.Spec
+			spec.Seed = int64(1 + s)
+			res, err := core.Run(spec)
+			if err != nil {
+				return nil, fmt.Errorf("repro %s/%s seed %d: %w", e.ID, p.Label, spec.Seed, err)
+			}
+			goodput.Add(float64(res.Report.Goodput))
+			rtt.Add(float64(res.Report.AvgRTT))
+			retx.Add(float64(res.Report.Retransmits))
+			for i, sr := range segmentStats(res.Report.Intervals, segs) {
+				segAcc[i].GoodputMbps += sr.GoodputMbps
+				segAcc[i].RTTms += sr.RTTms
+				segAcc[i].Retransmits += sr.Retransmits
+			}
+		}
+		for i := range segAcc {
+			segAcc[i].GoodputMbps /= float64(seeds)
+			segAcc[i].RTTms /= float64(seeds)
+			segAcc[i].Retransmits /= float64(seeds)
+		}
+		rows = append(rows, TraceRow{
+			Point:       p,
+			GoodputMbps: goodput.Mean() / 1e6,
+			GoodputCI:   goodput.CI95() / 1e6,
+			RTTms:       rtt.Mean() / 1e6,
+			Retransmits: retx.Mean(),
+			Segments:    segAcc,
+		})
+	}
+	return rows, nil
+}
+
+// PrintTrace writes the overall table, the per-segment breakdown, and the
+// BBR-vs-Cubic deltas per CPU configuration.
+func PrintTrace(w io.Writer, e TraceExperiment, rows []TraceRow) {
+	st := e.Compiled.Trace.Stats()
+	fmt.Fprintf(w, "== %s: %s\n", e.ID, e.Title)
+	fmt.Fprintf(w, "trace: %v, mean %v peak %v, outage %.0f%%, mean RTT %v, %d fault events, %d segments\n",
+		e.Compiled.Trace.Duration(), st.MeanRate, st.PeakRate, st.OutageFraction*100,
+		st.MeanRTT.Round(time.Millisecond), len(e.Compiled.Schedule.Events), len(e.Compiled.Segments))
+	fmt.Fprintf(w, "%-24s %9s %7s %8s %9s\n", "point", "Mbps", "±CI", "rtt ms", "retx")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %9.2f %7.2f %8.2f %9.0f\n",
+			r.Point.Label, r.GoodputMbps, r.GoodputCI, r.RTTms, r.Retransmits)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "per-segment goodput (Mbps) / rtt (ms) / retx:\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s", r.Point.Label)
+		for _, sr := range r.Segments {
+			fmt.Fprintf(w, "  [%s %.0fs-%.0fs %.2f/%.1f/%.0f]",
+				sr.Segment.Kind, sr.Segment.Start.Seconds(), sr.Segment.End.Seconds(),
+				sr.GoodputMbps, sr.RTTms, sr.Retransmits)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	// Deltas against Cubic per CPU configuration.
+	byLabel := map[string]TraceRow{}
+	for _, r := range rows {
+		byLabel[r.Point.Label] = r
+	}
+	for _, cfg := range []device.Config{device.LowEnd, device.Default} {
+		cubic, ok := byLabel[fmt.Sprintf("cubic %s", cfg)]
+		if !ok || cubic.GoodputMbps == 0 {
+			continue
+		}
+		for _, ccName := range []string{"bbr", "bbr2"} {
+			r, ok := byLabel[fmt.Sprintf("%s %s", ccName, cfg)]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "%s vs cubic (%s): goodput %+.1f%%, rtt %+.1f%%, retx %+.0f\n",
+				ccName, cfg,
+				100*(r.GoodputMbps-cubic.GoodputMbps)/cubic.GoodputMbps,
+				100*(r.RTTms-cubic.RTTms)/cubic.RTTms,
+				r.Retransmits-cubic.Retransmits)
+		}
+	}
+	fmt.Fprintln(w)
+}

@@ -42,6 +42,9 @@ import (
 //	KindViolation  Conn (or -1); New = rule name; Old = detail
 //	KindSample     Conn; New = CC mode label; Value = cwnd (pkts),
 //	               V2 = inflight (pkts), V3 = pacing rate (Mbps), V4 = srtt (ms)
+//	KindSegment    Conn = -1; Old = "begin" or "end"; New = trace-segment
+//	               label ("<trace> outage|degraded|nominal"); Value = the
+//	               segment's mean rate in Mbps
 type Kind uint8
 
 // Event kinds.
@@ -57,12 +60,14 @@ const (
 	KindGovernor
 	KindViolation
 	KindSample
+	KindSegment
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"tcp_state", "rto", "spurious_rto", "idle_restart", "conn_failed",
 	"cc_mode", "pacing_timer", "fault", "governor", "violation", "sample",
+	"segment",
 }
 
 // String returns the kind's snake_case name, as used in JSONL output.
