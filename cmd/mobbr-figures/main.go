@@ -18,15 +18,27 @@ import (
 	"mobbr/internal/repro"
 )
 
-func run(spec core.Spec, dur time.Duration) float64 {
-	spec.Duration = dur
-	spec.Warmup = dur / 5
-	res, err := core.Run(spec)
+// goodputs runs every spec for dur across the worker pool and returns each
+// run's goodput in Mbps, indexed like specs — completion order never leaks
+// into the figures.
+func goodputs(specs []core.Spec, dur time.Duration, jobs int) []float64 {
+	out := make([]float64, len(specs))
+	err := repro.ForEach(len(specs), jobs, func(i int) error {
+		spec := specs[i]
+		spec.Duration = dur
+		spec.Warmup = dur / 5
+		res, err := core.Run(spec)
+		if err != nil {
+			return err
+		}
+		out[i] = float64(res.Report.Goodput) / 1e6
+		return nil
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	return float64(res.Report.Goodput) / 1e6
+	return out
 }
 
 func main() {
@@ -34,30 +46,32 @@ func main() {
 	trFile := flag.String("trace-file", "", "trace figure: replay this dataset trace (.csv, .jsonl)")
 	trPre := flag.String("trace-preset", "driving", "trace figure: synthesize this commute when no -trace-file")
 	trSeed := flag.Int64("trace-seed", 1, "trace figure: synthesis seed")
+	jobs := flag.Int("j", 0, "figure points run in parallel (0 = one per CPU); output is identical at any -j")
 	flag.Parse()
 
 	// Figure 2a: Low-End, BBR vs Cubic across connection counts.
 	fmt.Println("═══ Figure 2a — Pixel 4 Low-End, Ethernet ═══")
+	f2cc := []string{"cubic", "bbr"}
+	f2n := []int{1, 5, 10, 20}
+	var f2specs []core.Spec
+	for _, cc := range f2cc {
+		for _, n := range f2n {
+			f2specs = append(f2specs, core.Spec{CPU: device.LowEnd, CC: cc, Conns: n, Network: core.Ethernet})
+		}
+	}
+	f2paper := map[string]string{
+		"cubic/1": "paper: 364", "cubic/20": "paper: 310",
+		"bbr/1": "paper: 325", "bbr/20": "paper: 138",
+	}
+	f2g := goodputs(f2specs, *dur, *jobs)
 	var f2 []render.Chart
-	for _, cc := range []string{"cubic", "bbr"} {
+	for ci, cc := range f2cc {
 		ch := render.Chart{Title: cc}
-		for _, n := range []int{1, 5, 10, 20} {
-			g := run(core.Spec{CPU: device.LowEnd, CC: cc, Conns: n, Network: core.Ethernet}, *dur)
-			note := ""
-			if cc == "cubic" && n == 1 {
-				note = "paper: 364"
-			}
-			if cc == "cubic" && n == 20 {
-				note = "paper: 310"
-			}
-			if cc == "bbr" && n == 1 {
-				note = "paper: 325"
-			}
-			if cc == "bbr" && n == 20 {
-				note = "paper: 138"
-			}
+		for ni, n := range f2n {
 			ch.Bars = append(ch.Bars, render.Bar{
-				Label: fmt.Sprintf("%2d conns", n), Value: g, Note: note,
+				Label: fmt.Sprintf("%2d conns", n),
+				Value: f2g[ci*len(f2n)+ni],
+				Note:  f2paper[fmt.Sprintf("%s/%d", cc, n)],
 			})
 		}
 		f2 = append(f2, ch)
@@ -70,14 +84,20 @@ func main() {
 	// Figure 4: pacing on/off at 20 connections.
 	fmt.Println("═══ Figure 4 — BBR pacing on/off, 20 conns ═══")
 	off := false
+	f4cfgs := []device.Config{device.LowEnd, device.MidEnd, device.Default}
+	var f4specs []core.Spec
+	for _, cfg := range f4cfgs {
+		f4specs = append(f4specs,
+			core.Spec{CPU: cfg, CC: "bbr", Conns: 20, Network: core.Ethernet},
+			core.Spec{CPU: cfg, CC: "bbr", Conns: 20, Network: core.Ethernet, PacingOverride: &off},
+		)
+	}
+	f4g := goodputs(f4specs, *dur, *jobs)
 	f4 := render.Chart{Title: "goodput"}
-	for _, cfg := range []device.Config{device.LowEnd, device.MidEnd, device.Default} {
-		on := run(core.Spec{CPU: cfg, CC: "bbr", Conns: 20, Network: core.Ethernet}, *dur)
-		no := run(core.Spec{CPU: cfg, CC: "bbr", Conns: 20, Network: core.Ethernet,
-			PacingOverride: &off}, *dur)
+	for i, cfg := range f4cfgs {
 		f4.Bars = append(f4.Bars,
-			render.Bar{Label: fmt.Sprintf("%v paced", cfg), Value: on},
-			render.Bar{Label: fmt.Sprintf("%v unpaced", cfg), Value: no},
+			render.Bar{Label: fmt.Sprintf("%v paced", cfg), Value: f4g[2*i]},
+			render.Bar{Label: fmt.Sprintf("%v unpaced", cfg), Value: f4g[2*i+1]},
 		)
 	}
 	if err := render.Grouped(os.Stdout, "Mbps", 0, f4); err != nil {
@@ -87,14 +107,23 @@ func main() {
 
 	// Figure 8: the stride sweep.
 	fmt.Println("═══ Figure 8 — pacing-stride sweep, 20 conns ═══")
+	f8cfgs := []device.Config{device.LowEnd, device.Default}
+	f8strides := []float64{1, 2, 5, 10, 20, 50}
+	var f8specs []core.Spec
+	for _, cfg := range f8cfgs {
+		for _, st := range f8strides {
+			f8specs = append(f8specs, core.Spec{CPU: cfg, CC: "bbr", Conns: 20,
+				Network: core.Ethernet, Stride: st})
+		}
+	}
+	f8g := goodputs(f8specs, *dur, *jobs)
 	var f8 []render.Chart
-	for _, cfg := range []device.Config{device.LowEnd, device.Default} {
+	for ci, cfg := range f8cfgs {
 		ch := render.Chart{Title: cfg.String()}
-		for _, st := range []float64{1, 2, 5, 10, 20, 50} {
-			g := run(core.Spec{CPU: cfg, CC: "bbr", Conns: 20,
-				Network: core.Ethernet, Stride: st}, *dur)
+		for si, st := range f8strides {
 			ch.Bars = append(ch.Bars, render.Bar{
-				Label: fmt.Sprintf("%3.0fx", st), Value: g,
+				Label: fmt.Sprintf("%3.0fx", st),
+				Value: f8g[ci*len(f8strides)+si],
 			})
 		}
 		f8 = append(f8, ch)

@@ -31,6 +31,7 @@ func main() {
 	traceTo := flag.String("trace", "", "write the last point's last-seed telemetry events as JSONL to FILE (- = stdout)")
 	metrics := flag.Bool("metrics", false, "collect metrics and print the last point's snapshot + engine self-metrics")
 	profile := flag.Bool("profile", false, "profile CPU cycles and add the pace% column; prints the last point's table")
+	jobs := flag.Int("j", 0, "experiment points run in parallel (0 = one per CPU); results are identical at any -j")
 	flag.Parse()
 
 	tel := telemetry.Config{Trace: *traceTo != "", Metrics: *metrics, Profile: *profile}
@@ -48,7 +49,7 @@ func main() {
 	// The recovery experiment has its own runner: its metric comes from the
 	// interval series and its duration is fixed by the fault timeline.
 	runRecovery := func() {
-		rows, err := repro.RunRecovery(rec, *seeds)
+		rows, err := repro.RunRecoveryPool(rec, *seeds, *jobs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -70,7 +71,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			rows, err := repro.RunTrace(e, *seeds)
+			rows, err := repro.RunTracePool(e, *seeds, *jobs)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -94,7 +95,7 @@ func main() {
 
 	var lastRows []repro.Row
 	for _, e := range exps {
-		rows, err := repro.RunExperimentTelemetry(e, *dur, *seeds, tel)
+		rows, err := repro.RunExperimentPool(e, *dur, *seeds, tel, *jobs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -58,6 +58,7 @@ func main() {
 		trTick  = flag.Duration("trace-tick", 0, "with -exp trace: synthesis sample spacing (default 100ms)")
 		traceTo = flag.String("trace", "", "write the last run's telemetry events as JSONL to FILE (- = stdout)")
 		metrics = flag.Bool("metrics", false, "collect and print the metrics registry and engine self-metrics")
+	jobs    = flag.Int("j", 0, "with -exp: experiment points run in parallel (0 = one per CPU); results are identical at any -j")
 		profile = flag.Bool("profile", false, "print the cycle-attribution profile (core × phase × op)")
 		folded  = flag.String("folded", "", "write the cycle profile as folded stacks (flamegraph input) to FILE")
 	)
@@ -71,10 +72,10 @@ func main() {
 
 	if *expName != "" {
 		if strings.EqualFold(*expName, "trace") {
-			runTraceExperiment(*trFile, *trPre, *dur, *trTick, *trSeed, *seeds)
+			runTraceExperiment(*trFile, *trPre, *dur, *trTick, *trSeed, *seeds, *jobs)
 			return
 		}
-		runExperiment(*expName, *dur, *seeds, tel, *traceTo, *metrics, *profile, *folded)
+		runExperiment(*expName, *dur, *seeds, *jobs, tel, *traceTo, *metrics, *profile, *folded)
 		return
 	}
 
@@ -282,7 +283,7 @@ func writeTelemetry(res *core.Result, traceTo string, metrics, profile bool, fol
 
 // runTraceExperiment replays a dataset file or synthesized preset commute
 // (-exp trace) through the BBR/BBRv2/Cubic × Low-End/Default grid.
-func runTraceExperiment(file, preset string, dur, tick time.Duration, traceSeed int64, seeds int) {
+func runTraceExperiment(file, preset string, dur, tick time.Duration, traceSeed int64, seeds, jobs int) {
 	tr, err := repro.LoadTrace(file, preset, dur, tick, traceSeed)
 	if err != nil {
 		fatalf("%v", err)
@@ -291,7 +292,7 @@ func runTraceExperiment(file, preset string, dur, tick time.Duration, traceSeed 
 	if err != nil {
 		fatalf("%v", err)
 	}
-	rows, err := repro.RunTrace(e, seeds)
+	rows, err := repro.RunTracePool(e, seeds, jobs)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -299,9 +300,9 @@ func runTraceExperiment(file, preset string, dur, tick time.Duration, traceSeed 
 }
 
 // runExperiment runs one repro experiment by id, like mobbr-repro -exp.
-func runExperiment(id string, dur time.Duration, seeds int, tel telemetry.Config, traceTo string, metrics, profile bool, folded string) {
+func runExperiment(id string, dur time.Duration, seeds, jobs int, tel telemetry.Config, traceTo string, metrics, profile bool, folded string) {
 	if rec := repro.Recovery(); strings.EqualFold(id, rec.ID) {
-		rows, err := repro.RunRecovery(rec, seeds)
+		rows, err := repro.RunRecoveryPool(rec, seeds, jobs)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -312,7 +313,7 @@ func runExperiment(id string, dur time.Duration, seeds int, tel telemetry.Config
 	if err != nil {
 		fatalf("%v", err)
 	}
-	rows, err := repro.RunExperimentTelemetry(e, dur, seeds, tel)
+	rows, err := repro.RunExperimentPool(e, dur, seeds, tel, jobs)
 	if err != nil {
 		fatalf("%v", err)
 	}

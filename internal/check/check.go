@@ -171,6 +171,11 @@ func (k *Checker) CheckNow() {
 		k.report("clock/monotonic", -1, "engine clock went backwards: %v after %v", now, k.lastNow)
 	}
 	k.lastNow = now
+	// Scheduler self-audit: the event queue's freelist/heap/wheel accounting
+	// must stay conserved (no leaked or double-owned items, counters exact).
+	if err := k.eng.CheckQueue(); err != nil {
+		k.report("engine/queue-depth", -1, "%v", err)
+	}
 	for _, c := range k.conns {
 		k.auditConn(c.Audit())
 	}

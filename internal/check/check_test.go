@@ -92,6 +92,25 @@ func TestViolationsCaught(t *testing.T) {
 	}
 }
 
+// TestQueueDepthViolationCaught: the checker audits the engine's own event
+// queue each pass, so a corrupted scheduler counter surfaces as a sim-wide
+// violation.
+func TestQueueDepthViolationCaught(t *testing.T) {
+	eng := sim.New(1)
+	k := New(eng, "test", 0)
+	eng.Schedule(time.Second, func() {})
+	k.CheckNow()
+	if err := k.Err(); err != nil {
+		t.Fatalf("healthy engine queue flagged: %v", err)
+	}
+	eng.CorruptQueueForTest()
+	k.CheckNow()
+	err := k.Err()
+	if err == nil || !strings.Contains(err.Error(), "engine/queue-depth") {
+		t.Fatalf("corrupted queue counter not caught: %v", err)
+	}
+}
+
 func TestMonotonicityRegression(t *testing.T) {
 	eng := sim.New(1)
 	k := New(eng, "test", 0)

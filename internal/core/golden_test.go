@@ -1,0 +1,54 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mobbr/internal/device"
+	"mobbr/internal/telemetry"
+)
+
+// TestTraceMatchesGolden pins the engine's event ordering across scheduler
+// rewrites: the telemetry trace of a fixed-seed run must stay byte-identical
+// to the checked-in golden, which was captured with the original
+// container/heap scheduler. Any reordering of equal-time events, change in
+// sequence numbering, or drift in timer semantics shows up here first.
+//
+// Regenerate (only when an intentional behaviour change is made):
+//
+//	go run ./cmd/mobbr -cc bbr -config low -conns 2 -dur 500ms -seed 7 \
+//	    -trace internal/core/testdata/golden_trace.jsonl
+func TestTraceMatchesGolden(t *testing.T) {
+	res, err := Run(Spec{
+		Device: device.Pixel4, CPU: device.LowEnd, CC: "bbr",
+		Conns: 2, Network: Ethernet,
+		Duration: 500 * time.Millisecond, Warmup: 100 * time.Millisecond,
+		Seed:      7,
+		Telemetry: telemetry.Config{Trace: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := res.Events.WriteJSONL(&got); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got.Bytes(), want) {
+		return
+	}
+	gl := bytes.Split(got.Bytes(), []byte("\n"))
+	wl := bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if !bytes.Equal(gl[i], wl[i]) {
+			t.Fatalf("trace diverges from golden at line %d:\n got: %s\nwant: %s", i+1, gl[i], wl[i])
+		}
+	}
+	t.Fatalf("trace length differs from golden: got %d lines, want %d", len(gl), len(wl))
+}

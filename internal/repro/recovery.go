@@ -190,11 +190,19 @@ func (p RecoveryPoint) RecoveryTime(ivals []iperf.Interval) (pre float64, rec ti
 // RunRecovery executes every point across seeds and computes the rows.
 // Runs are deterministic per seed: same seeds, same rows.
 func RunRecovery(e RecoveryExperiment, seeds int) ([]RecoveryRow, error) {
+	return RunRecoveryPool(e, seeds, 1)
+}
+
+// RunRecoveryPool is RunRecovery fanned across up to workers OS threads,
+// one point per task; rows come back in point order, identical to a serial
+// run's.
+func RunRecoveryPool(e RecoveryExperiment, seeds, workers int) ([]RecoveryRow, error) {
 	if seeds <= 0 {
 		seeds = 1
 	}
-	rows := make([]RecoveryRow, 0, len(e.Points))
-	for _, p := range e.Points {
+	rows := make([]RecoveryRow, len(e.Points))
+	err := ForEach(len(e.Points), workers, func(i int) error {
+		p := e.Points[i]
 		var (
 			pre, spurious, retx stats.Online
 			recMs               stats.Online
@@ -205,7 +213,7 @@ func RunRecovery(e RecoveryExperiment, seeds int) ([]RecoveryRow, error) {
 			spec.Seed = int64(1 + s)
 			res, err := core.Run(spec)
 			if err != nil {
-				return nil, fmt.Errorf("repro %s/%s seed %d: %w", e.ID, p.Label, spec.Seed, err)
+				return fmt.Errorf("repro %s/%s seed %d: %w", e.ID, p.Label, spec.Seed, err)
 			}
 			preG, rec, ok := recoveryTime(res.Report.Intervals,
 				spec.Warmup, recoveryFaultStart, p.FaultEnd, spec.Duration)
@@ -217,7 +225,7 @@ func RunRecovery(e RecoveryExperiment, seeds int) ([]RecoveryRow, error) {
 			spurious.Add(float64(res.Report.SpuriousRTOs))
 			retx.Add(float64(res.Report.Retransmits))
 		}
-		rows = append(rows, RecoveryRow{
+		rows[i] = RecoveryRow{
 			Point:        p,
 			PreFaultMbps: pre.Mean() / 1e6,
 			RecoveryMs:   recMs.Mean(),
@@ -226,7 +234,11 @@ func RunRecovery(e RecoveryExperiment, seeds int) ([]RecoveryRow, error) {
 			Seeds:        seeds,
 			SpuriousRTOs: spurious.Mean(),
 			Retransmits:  retx.Mean(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -55,15 +55,25 @@ func RunExperiment(e Experiment, dur time.Duration, seeds int) ([]Row, error) {
 // bus, cycle profile and engine stats, and PacingShare is filled from the
 // profile when enabled.
 func RunExperimentTelemetry(e Experiment, dur time.Duration, seeds int, tel telemetry.Config) ([]Row, error) {
-	rows := make([]Row, 0, len(e.Points))
-	for _, p := range e.Points {
+	return RunExperimentPool(e, dur, seeds, tel, 1)
+}
+
+// RunExperimentPool is RunExperimentTelemetry fanned across up to workers
+// OS threads, one grid point per task (each point's seeds stay serial so
+// per-seed determinism is untouched). Rows come back in point order and are
+// identical to a serial run's; the error, if any, is the
+// smallest-index point's.
+func RunExperimentPool(e Experiment, dur time.Duration, seeds int, tel telemetry.Config, workers int) ([]Row, error) {
+	rows := make([]Row, len(e.Points))
+	err := ForEach(len(e.Points), workers, func(i int) error {
+		p := e.Points[i]
 		spec := p.Spec
 		spec.Duration = dur
 		spec.Warmup = dur / 5
 		spec.Telemetry = tel
 		agg, err := core.RunSeeds(spec, seeds)
 		if err != nil {
-			return nil, fmt.Errorf("repro %s/%s: %w", e.ID, p.Label, err)
+			return fmt.Errorf("repro %s/%s: %w", e.ID, p.Label, err)
 		}
 		var jain float64
 		for _, run := range agg.Runs {
@@ -75,7 +85,7 @@ func RunExperimentTelemetry(e Experiment, dur time.Duration, seeds int, tel tele
 		if sample.Profile != nil {
 			paceShare = sample.Profile.Share("net", "pacing_timer")
 		}
-		rows = append(rows, Row{
+		rows[i] = Row{
 			Point:        p,
 			GoodputMbps:  agg.Goodput.Mean() / 1e6,
 			GoodputCI:    agg.Goodput.CI95() / 1e6,
@@ -90,7 +100,11 @@ func RunExperimentTelemetry(e Experiment, dur time.Duration, seeds int, tel tele
 			Jain:         jain,
 			PacingShare:  paceShare,
 			Sample:       sample,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

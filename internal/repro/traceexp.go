@@ -192,11 +192,19 @@ func segmentStats(ivals []iperf.Interval, segs []mobility.Segment) []TraceSegmen
 // RunTrace executes every point across seeds. Runs are deterministic per
 // (seed, trace): same inputs, same rows, byte for byte.
 func RunTrace(e TraceExperiment, seeds int) ([]TraceRow, error) {
+	return RunTracePool(e, seeds, 1)
+}
+
+// RunTracePool is RunTrace fanned across up to workers OS threads, one
+// point per task; rows come back in point order, identical to a serial
+// run's.
+func RunTracePool(e TraceExperiment, seeds, workers int) ([]TraceRow, error) {
 	if seeds <= 0 {
 		seeds = 1
 	}
-	rows := make([]TraceRow, 0, len(e.Points))
-	for _, p := range e.Points {
+	rows := make([]TraceRow, len(e.Points))
+	err := ForEach(len(e.Points), workers, func(i int) error {
+		p := e.Points[i]
 		var goodput, rtt, retx stats.Online
 		segs := e.Compiled.Segments
 		segAcc := make([]TraceSegmentRow, len(segs))
@@ -208,30 +216,34 @@ func RunTrace(e TraceExperiment, seeds int) ([]TraceRow, error) {
 			spec.Seed = int64(1 + s)
 			res, err := core.Run(spec)
 			if err != nil {
-				return nil, fmt.Errorf("repro %s/%s seed %d: %w", e.ID, p.Label, spec.Seed, err)
+				return fmt.Errorf("repro %s/%s seed %d: %w", e.ID, p.Label, spec.Seed, err)
 			}
 			goodput.Add(float64(res.Report.Goodput))
 			rtt.Add(float64(res.Report.AvgRTT))
 			retx.Add(float64(res.Report.Retransmits))
-			for i, sr := range segmentStats(res.Report.Intervals, segs) {
-				segAcc[i].GoodputMbps += sr.GoodputMbps
-				segAcc[i].RTTms += sr.RTTms
-				segAcc[i].Retransmits += sr.Retransmits
+			for j, sr := range segmentStats(res.Report.Intervals, segs) {
+				segAcc[j].GoodputMbps += sr.GoodputMbps
+				segAcc[j].RTTms += sr.RTTms
+				segAcc[j].Retransmits += sr.Retransmits
 			}
 		}
-		for i := range segAcc {
-			segAcc[i].GoodputMbps /= float64(seeds)
-			segAcc[i].RTTms /= float64(seeds)
-			segAcc[i].Retransmits /= float64(seeds)
+		for j := range segAcc {
+			segAcc[j].GoodputMbps /= float64(seeds)
+			segAcc[j].RTTms /= float64(seeds)
+			segAcc[j].Retransmits /= float64(seeds)
 		}
-		rows = append(rows, TraceRow{
+		rows[i] = TraceRow{
 			Point:       p,
 			GoodputMbps: goodput.Mean() / 1e6,
 			GoodputCI:   goodput.CI95() / 1e6,
 			RTTms:       rtt.Mean() / 1e6,
 			Retransmits: retx.Mean(),
 			Segments:    segAcc,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

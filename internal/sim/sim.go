@@ -1,13 +1,33 @@
 // Package sim implements a deterministic discrete-event simulation engine:
-// a virtual clock, an event heap, and cancellable timers. Every component of
-// the testbed (CPU model, links, queues, TCP endpoints, pacers) schedules
-// work on a single Engine, so a whole experiment runs single-threaded and
-// reproducibly from a seed.
+// a virtual clock, a hybrid timer queue (a hierarchical timer wheel for
+// short-horizon timers over an inlined 4-ary min-heap), and cancellable
+// timers. Every component of the testbed (CPU model, links, queues, TCP
+// endpoints, pacers) schedules work on a single Engine, so a whole
+// experiment runs single-threaded and reproducibly from a seed.
+//
+// # Scheduler internals
+//
+// Events live in a freelist-backed arena ([]eventItem indexed by int32), so
+// steady-state scheduling performs no heap allocation and no interface
+// boxing: fired and cancelled items are recycled, and Timer handles are
+// plain values carrying (engine, index, generation). A generation counter
+// per slot makes stale handles inert after their item is recycled.
+//
+// Short-horizon timers (the pacing and delayed-ACK timers that dominate the
+// paper's workload) are bucketed into a two-level timer wheel — level 0
+// covers ~16 ms at 64 µs granularity, level 1 covers ~4.2 s at 16 ms
+// granularity — with O(1) insert and cancel. Longer or too-late timers fall
+// back to the 4-ary min-heap. Before any event executes, every wheel slot
+// whose window could precede the heap top is flushed into the heap, so the
+// ordering contract is exactly the heap's: events fire in (time, seq) order,
+// where seq is the global schedule sequence number — bit-identical to a
+// single binary-heap implementation. The differential and golden-trace tests
+// pin this contract.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"time"
 )
@@ -15,72 +35,208 @@ import (
 // Event is a callback scheduled to run at a virtual time.
 type Event func()
 
-// Timer is a handle to a scheduled event that can be stopped or rescheduled.
-type Timer struct {
-	eng  *Engine
-	item *eventItem
-}
+// Item location states.
+const (
+	wFree uint8 = iota // on the freelist
+	wHeap              // resident in the 4-ary heap
+	wWheel0            // resident in wheel level 0
+	wWheel1            // resident in wheel level 1
+	wFiring            // popped, callback currently executing
+)
 
-// Stop cancels the timer if it has not fired. It reports whether the timer
-// was still pending.
-func (t *Timer) Stop() bool {
-	if t == nil || t.item == nil || t.item.cancelled || t.item.fired {
-		return false
-	}
-	t.item.cancelled = true
-	return true
-}
-
-// Pending reports whether the timer is scheduled and has not yet fired.
-func (t *Timer) Pending() bool {
-	return t != nil && t.item != nil && !t.item.cancelled && !t.item.fired
-}
-
-// When returns the virtual time the timer will fire at. It is only
-// meaningful while the timer is pending.
-func (t *Timer) When() time.Duration {
-	if t == nil || t.item == nil {
-		return 0
-	}
-	return t.item.at
-}
-
+// eventItem is one arena slot. Items are recycled through a freelist; gen
+// increments on every recycle so stale Timer handles cannot touch the new
+// occupant.
 type eventItem struct {
 	at        time.Duration
 	seq       uint64 // tie-break so equal-time events run in schedule order
 	fn        Event
+	next      int32 // freelist / wheel-slot chain link
+	pos       int32 // index in the heap slice, -1 when not heap-resident
+	gen       uint32
+	where     uint8
 	cancelled bool
-	fired     bool
-	index     int
 }
 
-type eventHeap []*eventItem
+// Timer is a value handle to a scheduled event that can be stopped or
+// rescheduled in place. The zero Timer is inert: Stop, Pending and
+// Reschedule report false, When reports 0.
+type Timer struct {
+	eng *Engine
+	idx int32
+	gen uint32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// live returns the handle's arena item if the handle still refers to it.
+func (t Timer) live() *eventItem {
+	if t.eng == nil {
+		return nil
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	it := x.(*eventItem)
-	it.index = len(*h)
-	*h = append(*h, it)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	it.index = -1
-	*h = old[:n-1]
+	it := &t.eng.items[t.idx]
+	if it.gen != t.gen || it.where == wFree {
+		return nil
+	}
 	return it
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the timer
+// was still pending. The item stays queued until the scheduler next passes
+// it (pop or wheel flush), at which point it is reclaimed to the freelist.
+func (t Timer) Stop() bool {
+	it := t.live()
+	if it == nil || it.cancelled || it.where == wFiring {
+		return false
+	}
+	it.cancelled = true
+	t.eng.livePending--
+	return true
+}
+
+// Pending reports whether the timer is scheduled and has not yet fired.
+func (t Timer) Pending() bool {
+	it := t.live()
+	return it != nil && !it.cancelled && it.where != wFiring
+}
+
+// When returns the virtual time the timer will fire at. It is only
+// meaningful while the timer is pending.
+func (t Timer) When() time.Duration {
+	it := t.live()
+	if it == nil {
+		return 0
+	}
+	return it.at
+}
+
+// Reschedule moves the timer to fire after delay of virtual time, reusing
+// its queue entry and callback instead of cancel+Schedule — the fast path
+// for the pacing, delayed-ACK and RTO timers that re-arm constantly. It
+// works on a pending, stopped-but-not-reclaimed, or currently-firing timer
+// and reports whether it succeeded; on false the timer is gone (fired and
+// reclaimed, or never scheduled) and the caller must Schedule afresh.
+// A successful Reschedule consumes one sequence number, exactly as
+// Stop+Schedule would, so event ordering is unchanged between the two forms.
+func (t *Timer) Reschedule(delay time.Duration) bool {
+	e := t.eng
+	if e == nil {
+		return false
+	}
+	it := &e.items[t.idx]
+	if it.gen != t.gen || it.where == wFree || it.fn == nil {
+		return false
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	at := e.now + delay
+	seq := e.seq
+	e.seq++
+	switch it.where {
+	case wHeap:
+		if it.cancelled {
+			it.cancelled = false
+			e.livePending++
+		}
+		it.at, it.seq = at, seq
+		e.heapFix(int(it.pos))
+	case wWheel0, wWheel1:
+		// Wheel slots are singly-linked: unlinking mid-chain is O(slot), so
+		// retire this entry (reclaimed at flush) and take a fresh one.
+		fn := it.fn
+		if !it.cancelled {
+			it.cancelled = true
+			e.livePending--
+		}
+		nidx := e.alloc()
+		nit := &e.items[nidx]
+		nit.at, nit.seq, nit.fn = at, seq, fn
+		e.place(nidx)
+		e.noteQueued()
+		t.idx, t.gen = nidx, nit.gen
+	case wFiring:
+		// Re-arming from inside the callback: the item re-enters the queue
+		// instead of being reclaimed when the callback returns.
+		it.at, it.seq = at, seq
+		e.place(t.idx)
+		e.noteQueued()
+	}
+	e.lastScheduled = at
+	return true
+}
+
+// Timer wheel geometry. Level 0 buckets the short-horizon timers (pacing
+// gaps, delayed-ACK flushes, CPU-op completions); level 1 holds the
+// RTO/watchdog band. Anything beyond level 1's span — or scheduled into an
+// already-flushed window — falls back to the heap.
+const (
+	wheelSlots = 256
+	wheelWords = wheelSlots / 64
+	wheelGran0 = 64 * time.Microsecond
+	wheelGran1 = wheelGran0 * wheelSlots // ≈16.4 ms; span ≈4.2 s
+)
+
+// wheelLevel is one ring of slots. Invariant: every resident item's tick
+// (at/gran) lies in [tick, tick+wheelSlots), so slot index tick%wheelSlots
+// is collision-free and occupancy distance from the cursor orders slots.
+type wheelLevel struct {
+	slots [wheelSlots]int32
+	occ   [wheelWords]uint64
+	tick  int64 // next tick to flush; slot windows before it are empty
+	count int
+}
+
+func (l *wheelLevel) init() {
+	for i := range l.slots {
+		l.slots[i] = -1
+	}
+}
+
+// insert links idx into the slot for tick.
+func (l *wheelLevel) insert(items []eventItem, idx int32, tick int64) {
+	slot := int(uint64(tick) % wheelSlots)
+	items[idx].next = l.slots[slot]
+	l.slots[slot] = idx
+	l.occ[slot>>6] |= 1 << uint(slot&63)
+	l.count++
+}
+
+// firstTick returns the tick of the earliest non-empty slot.
+func (l *wheelLevel) firstTick() (int64, bool) {
+	if l.count == 0 {
+		return 0, false
+	}
+	start := int(uint64(l.tick) % wheelSlots)
+	w, bit := start>>6, uint(start&63)
+	if m := l.occ[w] &^ (1<<bit - 1); m != 0 {
+		return l.tick + int64(w<<6+bits.TrailingZeros64(m)-start), true
+	}
+	for i := 1; i <= wheelWords; i++ {
+		wi := (w + i) & (wheelWords - 1)
+		m := l.occ[wi]
+		if wi == w {
+			m &= 1<<bit - 1
+		}
+		if m == 0 {
+			continue
+		}
+		d := wi<<6 + bits.TrailingZeros64(m) - start
+		if d < 0 {
+			d += wheelSlots
+		}
+		return l.tick + int64(d), true
+	}
+	return 0, false
+}
+
+// take empties the slot for tick, advances the cursor past it, and returns
+// the chain head.
+func (l *wheelLevel) take(tick int64) int32 {
+	slot := int(uint64(tick) % wheelSlots)
+	head := l.slots[slot]
+	l.slots[slot] = -1
+	l.occ[slot>>6] &^= 1 << uint(slot&63)
+	l.tick = tick + 1
+	return head
 }
 
 // Limits bounds a run so a mis-wired experiment terminates with a
@@ -128,10 +284,22 @@ const wallCheckEvery = 8192
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with New.
 type Engine struct {
-	now    time.Duration
-	seq    uint64
-	events eventHeap
-	rng    *rand.Rand
+	now time.Duration
+	seq uint64
+
+	items    []eventItem
+	freeHead int32
+	heap     []int32
+	w0, w1   wheelLevel
+
+	// livePending counts scheduled, non-cancelled events; queued counts
+	// every queue-resident item including cancelled ones awaiting reclaim
+	// (the memory the queue actually holds).
+	livePending int
+	queued      int
+	maxPending  int
+
+	rng *rand.Rand
 	// processed counts events executed, useful for runaway detection in tests.
 	processed uint64
 
@@ -139,15 +307,16 @@ type Engine struct {
 	wallStart     time.Time
 	lastScheduled time.Duration
 	limitErr      *LimitError
-
-	// maxPending is the event queue's high-water mark (includes cancelled
-	// items still in the heap — the memory the queue actually held).
-	maxPending int
 }
 
-// New returns an Engine whose random source is seeded with seed.
+// New returns an Engine whose random source is seeded with seed. The source
+// is reachable only through Rand(), so a run's randomness cannot be swapped
+// out mid-flight.
 func New(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	e := &Engine{rng: rand.New(rand.NewSource(seed)), freeHead: -1}
+	e.w0.init()
+	e.w1.init()
+	return e
 }
 
 // SetLimits installs an event/wall-clock budget. The wall clock starts
@@ -208,29 +377,239 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
+// alloc takes an item from the freelist, growing the arena when empty.
+func (e *Engine) alloc() int32 {
+	if e.freeHead >= 0 {
+		idx := e.freeHead
+		e.freeHead = e.items[idx].next
+		return idx
+	}
+	e.items = append(e.items, eventItem{pos: -1, next: -1})
+	return int32(len(e.items) - 1)
+}
+
+// recycle returns an item to the freelist, bumping its generation so stale
+// Timer handles go inert.
+func (e *Engine) recycle(idx int32) {
+	it := &e.items[idx]
+	it.gen++
+	it.fn = nil
+	it.cancelled = false
+	it.where = wFree
+	it.pos = -1
+	it.next = e.freeHead
+	e.freeHead = idx
+}
+
+// place routes an item into wheel level 0, level 1 or the heap by horizon.
+func (e *Engine) place(idx int32) {
+	it := &e.items[idx]
+	t0 := int64(it.at / wheelGran0)
+	switch {
+	case t0 < e.w0.tick:
+		// Window already flushed: the heap is always a correct home.
+		it.where = wHeap
+		e.heapPush(idx)
+	case t0-e.w0.tick < wheelSlots:
+		it.where = wWheel0
+		e.w0.insert(e.items, idx, t0)
+	default:
+		t1 := int64(it.at / wheelGran1)
+		if t1 >= e.w1.tick && t1-e.w1.tick < wheelSlots {
+			it.where = wWheel1
+			e.w1.insert(e.items, idx, t1)
+		} else {
+			it.where = wHeap
+			e.heapPush(idx)
+		}
+	}
+}
+
+// noteQueued accounts one more queue-resident item.
+func (e *Engine) noteQueued() {
+	e.livePending++
+	e.queued++
+	if e.queued > e.maxPending {
+		e.maxPending = e.queued
+	}
+}
+
 // Schedule runs fn after delay of virtual time. A negative delay is treated
 // as zero (run as soon as the current event completes).
-func (e *Engine) Schedule(delay time.Duration, fn Event) *Timer {
+func (e *Engine) Schedule(delay time.Duration, fn Event) Timer {
 	if fn == nil {
 		panic("sim: Schedule with nil event")
 	}
 	if delay < 0 {
 		delay = 0
 	}
-	it := &eventItem{at: e.now + delay, seq: e.seq, fn: fn}
+	idx := e.alloc()
+	it := &e.items[idx]
+	it.at = e.now + delay
+	it.seq = e.seq
 	e.seq++
-	heap.Push(&e.events, it)
-	if n := len(e.events); n > e.maxPending {
-		e.maxPending = n
-	}
+	it.fn = fn
+	e.place(idx)
+	e.noteQueued()
 	e.lastScheduled = it.at
-	return &Timer{eng: e, item: it}
+	return Timer{eng: e, idx: idx, gen: it.gen}
 }
 
 // ScheduleAt runs fn at absolute virtual time at. Times in the past are
 // clamped to now.
-func (e *Engine) ScheduleAt(at time.Duration, fn Event) *Timer {
+func (e *Engine) ScheduleAt(at time.Duration, fn Event) Timer {
 	return e.Schedule(at-e.now, fn)
+}
+
+// --- inlined 4-ary min-heap over arena indices ------------------------------
+
+// less orders items by (at, seq) — the engine-wide ordering contract.
+func (e *Engine) less(a, b int32) bool {
+	ia, ib := &e.items[a], &e.items[b]
+	if ia.at != ib.at {
+		return ia.at < ib.at
+	}
+	return ia.seq < ib.seq
+}
+
+func (e *Engine) heapPush(idx int32) {
+	e.heap = append(e.heap, idx)
+	e.items[idx].pos = int32(len(e.heap) - 1)
+	e.siftUp(len(e.heap) - 1)
+}
+
+func (e *Engine) heapPop() int32 {
+	h := e.heap
+	top := h[0]
+	last := h[len(h)-1]
+	e.heap = h[:len(h)-1]
+	if len(e.heap) > 0 {
+		e.heap[0] = last
+		e.items[last].pos = 0
+		e.siftDown(0)
+	}
+	e.items[top].pos = -1
+	return top
+}
+
+// heapFix restores heap order after the item at position i changed its key.
+func (e *Engine) heapFix(i int) {
+	e.siftUp(i)
+	e.siftDown(i)
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	idx := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !e.less(idx, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		e.items[h[p]].pos = int32(i)
+		i = p
+	}
+	h[i] = idx
+	e.items[idx].pos = int32(i)
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	idx := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if e.less(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !e.less(h[best], idx) {
+			break
+		}
+		h[i] = h[best]
+		e.items[h[best]].pos = int32(i)
+		i = best
+	}
+	h[i] = idx
+	e.items[idx].pos = int32(i)
+}
+
+// --- queue front ------------------------------------------------------------
+
+// flushWheel empties one slot of l: live items are re-placed (level 1 items
+// cascade into level 0 or the heap; level 0 items go to the heap), cancelled
+// ones are reclaimed to the freelist here instead of leaking until run end.
+func (e *Engine) flushWheel(l *wheelLevel, tick int64, cascade bool) {
+	idx := l.take(tick)
+	for idx >= 0 {
+		it := &e.items[idx]
+		next := it.next
+		l.count--
+		if it.cancelled {
+			e.queued--
+			e.recycle(idx)
+		} else if cascade {
+			e.place(idx)
+		} else {
+			it.where = wHeap
+			e.heapPush(idx)
+		}
+		idx = next
+	}
+}
+
+// nextReady flushes every wheel slot whose window could precede the heap
+// top and drops cancelled heap items, until the heap top is the globally
+// next live event. It reports whether any event remains.
+func (e *Engine) nextReady() bool {
+	for {
+		for len(e.heap) > 0 {
+			top := e.heap[0]
+			if !e.items[top].cancelled {
+				break
+			}
+			e.heapPop()
+			e.queued--
+			e.recycle(top)
+		}
+		t0, ok0 := e.w0.firstTick()
+		t1, ok1 := e.w1.firstTick()
+		if !ok0 && !ok1 {
+			return len(e.heap) > 0
+		}
+		var s0, s1 time.Duration
+		if ok0 {
+			s0 = time.Duration(t0) * wheelGran0
+		}
+		if ok1 {
+			s1 = time.Duration(t1) * wheelGran1
+		}
+		// The heap top is globally next only if it precedes every
+		// occupied wheel window; wheel items never precede their slot
+		// start. Flush the coarser level first on ties — its slot may
+		// contain times inside the finer slot's window.
+		if len(e.heap) > 0 {
+			at := e.items[e.heap[0]].at
+			if (!ok0 || at < s0) && (!ok1 || at < s1) {
+				return true
+			}
+		}
+		if ok1 && (!ok0 || s1 <= s0) {
+			e.flushWheel(&e.w1, t1, true)
+		} else {
+			e.flushWheel(&e.w0, t0, false)
+		}
+	}
 }
 
 // Step executes the next pending event. It reports whether an event ran.
@@ -240,21 +619,27 @@ func (e *Engine) Step() bool {
 	if e.overBudget() {
 		return false
 	}
-	for len(e.events) > 0 {
-		it := heap.Pop(&e.events).(*eventItem)
-		if it.cancelled {
-			continue
-		}
-		if it.at < e.now {
-			panic(fmt.Sprintf("sim: event scheduled at %v before now %v", it.at, e.now))
-		}
-		e.now = it.at
-		it.fired = true
-		e.processed++
-		it.fn()
-		return true
+	if !e.nextReady() {
+		return false
 	}
-	return false
+	idx := e.heapPop()
+	e.queued--
+	it := &e.items[idx]
+	if it.at < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v before now %v", it.at, e.now))
+	}
+	e.now = it.at
+	it.where = wFiring
+	e.livePending--
+	e.processed++
+	fn := it.fn
+	fn()
+	// The arena may have grown during fn; re-index. Reclaim unless the
+	// callback rescheduled its own item back into the queue.
+	if e.items[idx].where == wFiring {
+		e.recycle(idx)
+	}
+	return true
 }
 
 // Run executes events until the virtual clock reaches end or no events
@@ -262,14 +647,8 @@ func (e *Engine) Step() bool {
 // advanced to end even if the event queue drains early, so subsequent
 // measurements see a consistent elapsed time.
 func (e *Engine) Run(end time.Duration) {
-	for len(e.events) > 0 {
-		// Peek at the next runnable event.
-		next := e.events[0]
-		if next.cancelled {
-			heap.Pop(&e.events)
-			continue
-		}
-		if next.at > end {
+	for e.nextReady() {
+		if e.items[e.heap[0]].at > end {
 			break
 		}
 		if !e.Step() {
@@ -291,19 +670,99 @@ func (e *Engine) RunAll(maxEvents uint64) bool {
 			return true
 		}
 	}
-	return len(e.events) == 0
+	return e.livePending == 0
 }
 
-// MaxPending returns the event queue's high-water mark over the run.
+// MaxPending returns the event queue's high-water mark over the run
+// (including cancelled items awaiting reclaim — the memory the queue
+// actually held).
 func (e *Engine) MaxPending() int { return e.maxPending }
 
 // Pending returns the number of scheduled (non-cancelled) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, it := range e.events {
-		if !it.cancelled {
-			n++
+func (e *Engine) Pending() int { return e.livePending }
+
+// CorruptQueueForTest deliberately skews the live-pending counter so tests
+// can prove the queue audit catches real accounting bugs. Test-only.
+func (e *Engine) CorruptQueueForTest() { e.livePending++ }
+
+// CheckQueue audits the scheduler's internal accounting: every arena item
+// is exactly one of heap-resident (with a correct back-pointer), wheel-
+// resident (within its level's window), firing, or free; and the live/queued
+// counters match a full walk. The invariant checker calls this each audit
+// tick; it returns nil when the queue is consistent.
+func (e *Engine) CheckQueue() error {
+	seen := make([]uint8, len(e.items))
+	for pos, idx := range e.heap {
+		it := &e.items[idx]
+		if it.where != wHeap {
+			return fmt.Errorf("sim: heap slot %d holds item %d in state %d", pos, idx, it.where)
+		}
+		if int(it.pos) != pos {
+			return fmt.Errorf("sim: heap item %d back-pointer %d != position %d", idx, it.pos, pos)
+		}
+		seen[idx]++
+	}
+	wheels := [...]struct {
+		l    *wheelLevel
+		gran time.Duration
+		st   uint8
+	}{{&e.w0, wheelGran0, wWheel0}, {&e.w1, wheelGran1, wWheel1}}
+	wheelCount := 0
+	for wi, w := range wheels {
+		n := 0
+		for slot, head := range w.l.slots {
+			occupied := w.l.occ[slot>>6]&(1<<uint(slot&63)) != 0
+			if occupied != (head >= 0) {
+				return fmt.Errorf("sim: wheel %d slot %d occupancy bit %v but head %d", wi, slot, occupied, head)
+			}
+			for idx := head; idx >= 0; idx = e.items[idx].next {
+				it := &e.items[idx]
+				if it.where != w.st {
+					return fmt.Errorf("sim: wheel %d slot %d holds item %d in state %d", wi, slot, idx, it.where)
+				}
+				tick := int64(it.at / w.gran)
+				if tick < w.l.tick || tick-w.l.tick >= wheelSlots {
+					return fmt.Errorf("sim: wheel %d item %d tick %d outside window [%d, %d)", wi, idx, tick, w.l.tick, w.l.tick+wheelSlots)
+				}
+				seen[idx]++
+				n++
+			}
+		}
+		if n != w.l.count {
+			return fmt.Errorf("sim: wheel %d count %d != walked %d", wi, w.l.count, n)
+		}
+		wheelCount += n
+	}
+	free := 0
+	for idx := e.freeHead; idx >= 0; idx = e.items[idx].next {
+		if e.items[idx].where != wFree {
+			return fmt.Errorf("sim: freelist holds item %d in state %d", idx, e.items[idx].where)
+		}
+		seen[idx]++
+		free++
+	}
+	firing, live := 0, 0
+	for idx := range e.items {
+		it := &e.items[idx]
+		if it.where == wFiring {
+			firing++
+			seen[idx]++
+		}
+		if seen[idx] != 1 {
+			return fmt.Errorf("sim: item %d appears %d times across heap/wheels/freelist (state %d)", idx, seen[idx], it.where)
+		}
+		if (it.where == wHeap || it.where == wWheel0 || it.where == wWheel1) && !it.cancelled {
+			live++
 		}
 	}
-	return n
+	if firing > 1 {
+		return fmt.Errorf("sim: %d items firing at once", firing)
+	}
+	if queued := len(e.heap) + wheelCount; queued != e.queued {
+		return fmt.Errorf("sim: queued counter %d != resident items %d", e.queued, queued)
+	}
+	if live != e.livePending {
+		return fmt.Errorf("sim: live-pending counter %d != walked live items %d", e.livePending, live)
+	}
+	return nil
 }

@@ -197,7 +197,7 @@ func (c *Conn) processAck(a *seg.Ack) {
 	// RTO management.
 	if c.inflight > 0 || c.board.firstLost() != nil {
 		c.armRTO()
-	} else if c.rtoTimer != nil {
+	} else {
 		c.rtoTimer.Stop()
 	}
 

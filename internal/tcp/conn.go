@@ -66,9 +66,9 @@ type Conn struct {
 	srtt, rttvar, lastRTT time.Duration
 	minRTT                *stats.WindowedMin
 
-	rtoTimer    *sim.Timer
+	rtoTimer    sim.Timer
 	rtoBackoff  uint
-	pacingTimer *sim.Timer
+	pacingTimer sim.Timer
 	xmitBusy    bool
 	cwndLimited bool
 	started     bool
@@ -78,7 +78,7 @@ type Conn struct {
 	segsSent     int64         // new-data segments ever created
 	lastSendAt   time.Duration // last (re)transmission release
 	lastProgress time.Duration // last delivery progress (watchdog)
-	watchdog     *sim.Timer
+	watchdog     sim.Timer
 	failedErr    error // non-nil once the connection is declared dead
 	spuriousRTOs int64
 	idleRestarts int64
@@ -106,6 +106,14 @@ type Conn struct {
 	// histograms. Hot paths guard every use with a nil-check.
 	bus *telemetry.Bus
 	met *telemetry.ConnMetrics
+
+	// Timer callbacks cached at construction so the hot re-arm paths
+	// (pacing gate, RTO, TSQ retry, watchdog) never allocate a closure or
+	// method value per event.
+	trySendFn    func()
+	pacingFire   func()
+	rtoFire      func()
+	watchdogFire func()
 }
 
 // NewConn creates a connection with the given flow id. The congestion
@@ -130,6 +138,10 @@ func NewConn(id int, eng *sim.Engine, cpu *cpumodel.CPU, path *netem.Path, cfg C
 	}
 	c.pacer = pacing.New(pcfg)
 	c.ccMod.Init(c)
+	c.trySendFn = c.trySend
+	c.pacingFire = c.pacingExpired
+	c.rtoFire = c.onRTOTimer
+	c.watchdogFire = c.watchdogCheck
 	return c
 }
 
@@ -240,15 +252,9 @@ func (c *Conn) appPump() {
 // Stop halts transmission and cancels timers.
 func (c *Conn) Stop() {
 	c.done = true
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-	}
-	if c.pacingTimer != nil {
-		c.pacingTimer.Stop()
-	}
-	if c.watchdog != nil {
-		c.watchdog.Stop()
-	}
+	c.rtoTimer.Stop()
+	c.pacingTimer.Stop()
+	c.watchdog.Stop()
 }
 
 // Err returns the reason the connection was declared dead (RTO retries
@@ -277,7 +283,9 @@ func (c *Conn) armWatchdog() {
 	if c.cfg.StallTimeout <= 0 || c.done {
 		return
 	}
-	c.watchdog = c.eng.Schedule(watchdogInterval, c.watchdogCheck)
+	if !c.watchdog.Reschedule(watchdogInterval) {
+		c.watchdog = c.eng.Schedule(watchdogInterval, c.watchdogFire)
+	}
 }
 
 // watchdogCheck declares the connection dead if it has outstanding work but
@@ -410,7 +418,7 @@ func (c *Conn) trySend() {
 	// TSQ-style backpressure: if the local qdisc is deep, defer rather
 	// than overrun it.
 	if c.path.Hop(0).QueueLen() > devnicHighWatermark {
-		c.eng.Schedule(250*time.Microsecond, c.trySend)
+		c.eng.Schedule(250*time.Microsecond, c.trySendFn)
 		return
 	}
 	c.cwndRestartAfterIdle(now)
@@ -621,34 +629,39 @@ func (c *Conn) mkPacket(p *pktInfo) *seg.Packet {
 // per-event overhead at the heart of the paper. With hardware offload
 // (§7.1.4) the NIC enforces the gap and the CPU pays nothing per event.
 func (c *Conn) armPacingTimer(wait time.Duration) {
-	if c.pacingTimer != nil && c.pacingTimer.Pending() {
+	if c.pacingTimer.Pending() {
 		return
 	}
 	c.pacer.TimerArmed()
-	c.pacingTimer = c.eng.Schedule(wait, func() {
-		if c.done {
-			return
+	if !c.pacingTimer.Reschedule(wait) {
+		c.pacingTimer = c.eng.Schedule(wait, c.pacingFire)
+	}
+}
+
+// pacingExpired is the pacing timer's callback (cached in pacingFire).
+func (c *Conn) pacingExpired() {
+	if c.done {
+		return
+	}
+	if c.pacer.Config().HardwareOffload {
+		c.trySend()
+		return
+	}
+	now := c.eng.Now()
+	done := c.cpu.SubmitOp(cpumodel.OpPacingTimer, c.trySendFn)
+	if c.bus != nil || c.met != nil {
+		// Timer slippage: the gate reopened at now, but the expiry
+		// work queues behind whatever the CPU is already doing, so
+		// the send actually runs at done. The delta is the paper's
+		// CPU-contention signal.
+		slip := float64(done-now) / 1e3 // µs
+		if c.bus != nil {
+			c.bus.Emit(telemetry.Event{Kind: telemetry.KindPacingTimer, Conn: c.id, Value: slip})
 		}
-		if c.pacer.Config().HardwareOffload {
-			c.trySend()
-			return
+		if c.met != nil {
+			c.met.TimerSlip.Observe(slip)
 		}
-		now := c.eng.Now()
-		done := c.cpu.SubmitOp(cpumodel.OpPacingTimer, c.trySend)
-		if c.bus != nil || c.met != nil {
-			// Timer slippage: the gate reopened at now, but the expiry
-			// work queues behind whatever the CPU is already doing, so
-			// the send actually runs at done. The delta is the paper's
-			// CPU-contention signal.
-			slip := float64(done-now) / 1e3 // µs
-			if c.bus != nil {
-				c.bus.Emit(telemetry.Event{Kind: telemetry.KindPacingTimer, Conn: c.id, Value: slip})
-			}
-			if c.met != nil {
-				c.met.TimerSlip.Observe(slip)
-			}
-		}
-	})
+	}
 }
 
 // rto returns the current retransmission timeout with backoff.
@@ -665,10 +678,9 @@ func (c *Conn) rto() time.Duration {
 }
 
 func (c *Conn) armRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
+	if !c.rtoTimer.Reschedule(c.rto()) {
+		c.rtoTimer = c.eng.Schedule(c.rto(), c.rtoFire)
 	}
-	c.rtoTimer = c.eng.Schedule(c.rto(), c.onRTOTimer)
 }
 
 func (c *Conn) onRTOTimer() {

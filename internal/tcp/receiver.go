@@ -36,7 +36,8 @@ type Receiver struct {
 
 	pendingBytes units.DataSize
 	ceSinceAck   int64
-	flush        *sim.Timer
+	flush        sim.Timer
+	flushFire    func() // cached flush callback: re-arming allocates nothing
 	lastPkt      *seg.Packet
 
 	goodBytes units.DataSize // in-order bytes delivered (goodput)
@@ -46,7 +47,9 @@ type Receiver struct {
 
 // NewReceiver builds the receiving endpoint for conn.
 func NewReceiver(eng *sim.Engine, path *netem.Path, conn *Conn) *Receiver {
-	return &Receiver{eng: eng, path: path, conn: conn, cfg: conn.cfg}
+	r := &Receiver{eng: eng, path: path, conn: conn, cfg: conn.cfg}
+	r.flushFire = r.flushExpired
+	return r
 }
 
 // OnPacket processes one arriving data segment.
@@ -125,22 +128,22 @@ func (r *Receiver) mergeContiguous() {
 // armFlush (re)schedules the GRO flush: the bundle is acknowledged once
 // the arrival stream pauses.
 func (r *Receiver) armFlush() {
-	if r.flush != nil {
-		r.flush.Stop()
+	if !r.flush.Reschedule(groFlushGap) {
+		r.flush = r.eng.Schedule(groFlushGap, r.flushFire)
 	}
-	r.flush = r.eng.Schedule(groFlushGap, func() {
-		if r.pendingBytes > 0 && r.lastPkt != nil {
-			r.sendAck(r.lastPkt)
-		}
-	})
+}
+
+// flushExpired is the GRO flush timer's callback (cached in flushFire).
+func (r *Receiver) flushExpired() {
+	if r.pendingBytes > 0 && r.lastPkt != nil {
+		r.sendAck(r.lastPkt)
+	}
 }
 
 // sendAck builds and returns an ACK echoing the triggering packet.
 func (r *Receiver) sendAck(trigger *seg.Packet) {
 	r.pendingBytes = 0
-	if r.flush != nil {
-		r.flush.Stop()
-	}
+	r.flush.Stop()
 	a := &seg.Ack{
 		Flow:        trigger.Flow,
 		CumAck:      r.rcvNxt,

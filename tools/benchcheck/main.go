@@ -1,0 +1,96 @@
+// Command benchcheck gates allocation regressions in CI: it reads `go test
+// -bench -benchmem` output on stdin, extracts allocs/op per benchmark, and
+// fails when any benchmark named in the checked-in baseline regresses past
+// the tolerance. The simulator is deterministic, so allocs/op is a stable
+// fingerprint of the engine's fast path even at -benchtime 1x.
+//
+//	go test -bench 'BenchmarkEngineThroughput' -benchmem -benchtime 1x -run XXX . \
+//	    | go run ./tools/benchcheck -baseline BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// Baseline is one benchmark's checked-in reference numbers.
+type Baseline struct {
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// benchLine matches `BenchmarkName[-P] <iters> ... <N> allocs/op`, where -P
+// is the GOMAXPROCS suffix gotest appends on multi-core hosts.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+.*?\s(\d+) allocs/op`)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "checked-in baseline JSON")
+	tolerance := flag.Float64("tolerance", 1.10, "fail when measured allocs/op exceed baseline × this")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	baselines := map[string]Baseline{}
+	if err := json.Unmarshal(raw, &baselines); err != nil {
+		fatalf("parsing %s: %v", *baselinePath, err)
+	}
+	if len(baselines) == 0 {
+		fatalf("%s names no benchmarks", *baselinePath)
+	}
+
+	measured := map[string]int64{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the output through so CI logs keep it
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		n, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		measured[m[1]] = n
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("reading stdin: %v", err)
+	}
+
+	failed := false
+	for name, base := range baselines {
+		got, ok := measured[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL %s: benchmark missing from input\n", name)
+			failed = true
+			continue
+		}
+		limit := int64(float64(base.AllocsPerOp) * *tolerance)
+		switch {
+		case got > limit:
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL %s: %d allocs/op > limit %d (baseline %d × %.2f)\n",
+				name, got, limit, base.AllocsPerOp, *tolerance)
+			failed = true
+		case float64(got) < 0.7*float64(base.AllocsPerOp):
+			fmt.Fprintf(os.Stderr, "benchcheck: note: %s improved to %d allocs/op (baseline %d) — consider re-baselining\n",
+				name, got, base.AllocsPerOp)
+		default:
+			fmt.Fprintf(os.Stderr, "benchcheck: ok %s: %d allocs/op (baseline %d)\n", name, got, base.AllocsPerOp)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchcheck: "+format+"\n", args...)
+	os.Exit(1)
+}
