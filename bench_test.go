@@ -188,6 +188,23 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkDataPath measures the pooled segment data path: a BBR run sized
+// so packet/ACK churn (mkPacket, GRO receive, ACK return, scoreboard walks)
+// dominates over setup. With the per-run recycler this path allocates no
+// per-segment objects, so allocs/op is a direct regression guard for the
+// zero-alloc contract.
+func BenchmarkDataPath(b *testing.B) {
+	spec := core.Spec{CPU: device.Default, CC: "bbr", Conns: 8,
+		Network: core.Ethernet, Duration: time.Second}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		spec.Seed = int64(i + 1)
+		if _, err := core.Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEngineOverhead measures what the telemetry layer costs: the same
 // heavy 20-connection run with telemetry disabled (the default nil-check-only
 // hot path) versus fully enabled (trace + metrics + profile). The disabled

@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"mobbr/internal/profiling"
 	"mobbr/internal/repro"
 	"mobbr/internal/telemetry"
 )
@@ -32,7 +33,16 @@ func main() {
 	metrics := flag.Bool("metrics", false, "collect metrics and print the last point's snapshot + engine self-metrics")
 	profile := flag.Bool("profile", false, "profile CPU cycles and add the pace% column; prints the last point's table")
 	jobs := flag.Int("j", 0, "experiment points run in parallel (0 = one per CPU); results are identical at any -j")
+	cpuProf := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole grid to FILE")
+	memProf := flag.String("memprofile", "", "write a pprof heap profile at exit to FILE")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	tel := telemetry.Config{Trace: *traceTo != "", Metrics: *metrics, Profile: *profile}
 

@@ -23,6 +23,7 @@ import (
 	"mobbr/internal/core"
 	"mobbr/internal/device"
 	"mobbr/internal/netem"
+	"mobbr/internal/profiling"
 	"mobbr/internal/repro"
 	"mobbr/internal/telemetry"
 	"mobbr/internal/units"
@@ -61,8 +62,17 @@ func main() {
 	jobs    = flag.Int("j", 0, "with -exp: experiment points run in parallel (0 = one per CPU); results are identical at any -j")
 		profile = flag.Bool("profile", false, "print the cycle-attribution profile (core × phase × op)")
 		folded  = flag.String("folded", "", "write the cycle profile as folded stacks (flamegraph input) to FILE")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to FILE")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile at exit to FILE")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	tel := telemetry.Config{
 		Trace:   *traceTo != "",

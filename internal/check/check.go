@@ -15,6 +15,8 @@ import (
 	"strings"
 	"time"
 
+	"mobbr/internal/netem"
+	"mobbr/internal/seg"
 	"mobbr/internal/sim"
 	"mobbr/internal/tcp"
 	"mobbr/internal/telemetry"
@@ -100,6 +102,12 @@ type Checker struct {
 	started bool
 	bus     *telemetry.Bus
 
+	// Pool audit state: the run's packet/ACK pool and the path whose
+	// in-transit census its outstanding counts are checked against.
+	pool         *seg.Pool
+	poolPath     *netem.Path
+	poolReported int // pool violations already surfaced
+
 	violations []*Violation
 }
 
@@ -120,6 +128,17 @@ func New(eng *sim.Engine, ctx string, interval time.Duration) *Checker {
 
 // Watch adds a connection to the audit set.
 func (k *Checker) Watch(c Auditable) { k.conns = append(k.conns, c) }
+
+// WatchPool adds the run's packet/ACK pool to the audit set. Each audit
+// pass surfaces the pool's own lifecycle violations (double releases,
+// foreign releases) and cross-checks its outstanding-object counts against
+// the network's census: every live packet must be inside the path, and
+// every live ACK either in return flight or parked behind a watched
+// connection's CPU model.
+func (k *Checker) WatchPool(pool *seg.Pool, path *netem.Path) {
+	k.pool = pool
+	k.poolPath = path
+}
 
 // SetBus mirrors every violation onto the telemetry bus (KindViolation), so
 // traces show what the checker caught in-line with the transport events.
@@ -176,8 +195,51 @@ func (k *Checker) CheckNow() {
 	if err := k.eng.CheckQueue(); err != nil {
 		k.report("engine/queue-depth", -1, "%v", err)
 	}
+	heldAcks := 0
 	for _, c := range k.conns {
-		k.auditConn(c.Audit())
+		a := c.Audit()
+		heldAcks += a.HeldAcks
+		k.auditConn(a)
+	}
+	k.auditPool(heldAcks)
+}
+
+// auditPool applies the memory-lifecycle invariants: the pool's own
+// violation log is drained into the checker, and its outstanding counts
+// must equal the holders' census.
+func (k *Checker) auditPool(heldAcks int) {
+	if k.pool == nil {
+		return
+	}
+	vs := k.pool.Violations()
+	for ; k.poolReported < len(vs); k.poolReported++ {
+		k.report("pool/lifecycle", -1, "%s", vs[k.poolReported])
+	}
+	st := k.pool.Stats()
+	if inPath := k.poolPath.InTransit(); st.OutstandingPackets != inPath {
+		k.report("pool/conservation", -1,
+			"outstanding packets %d != path in-transit %d", st.OutstandingPackets, inPath)
+	}
+	if inFlight := k.poolPath.AckInFlight(); st.OutstandingAcks != inFlight+heldAcks {
+		k.report("pool/conservation", -1,
+			"outstanding ACKs %d != return-flight %d + cpu-held %d",
+			st.OutstandingAcks, inFlight, heldAcks)
+	}
+}
+
+// CheckLeaks is the end-of-run pool audit, called after the harness has
+// reclaimed the network's hold buffers: any object still outstanding was
+// acquired and never released anywhere — a leak.
+func (k *Checker) CheckLeaks() {
+	if k.pool == nil {
+		return
+	}
+	st := k.pool.Stats()
+	if st.OutstandingPackets != 0 {
+		k.report("pool/leak", -1, "%d packets outstanding after run-end reclaim", st.OutstandingPackets)
+	}
+	if st.OutstandingAcks != 0 {
+		k.report("pool/leak", -1, "%d ACKs outstanding after run-end reclaim", st.OutstandingAcks)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"mobbr/internal/mastermod"
 	"mobbr/internal/mobility"
 	"mobbr/internal/netem"
+	"mobbr/internal/seg"
 	"mobbr/internal/sim"
 	"mobbr/internal/stats"
 	"mobbr/internal/tcp"
@@ -122,6 +123,10 @@ type Spec struct {
 	// connection's bookkeeping is audited throughout the run and Run
 	// returns a structured error when an invariant is violated.
 	Check bool
+	// DisablePool turns off the run-private packet/ACK recycler and
+	// allocates every segment fresh from the heap. It exists for the
+	// pooled-vs-fresh differential tests; production runs always pool.
+	DisablePool bool
 	// MaxEvents bounds the simulator events one run may process
 	// (0 = default 200M). Exceeding it fails the run with a budget error
 	// naming the last-scheduled event time.
@@ -138,6 +143,10 @@ type Spec struct {
 	// inflight counter is deliberately skewed, to prove the checker turns
 	// real accounting corruption into an error instead of a panic.
 	corruptAt time.Duration
+	// leakAt is a test-only hook: at this virtual time one packet is
+	// acquired from the pool and deliberately never released, to prove the
+	// checker turns pool leaks into structured violations.
+	leakAt time.Duration
 }
 
 func (s Spec) withDefaults() Spec {
@@ -390,6 +399,13 @@ func Run(spec Spec) (*Result, error) {
 	cfg.Pacing.FixedRate = spec.FixedPacingRate
 	cfg.Pacing.HardwareOffload = spec.HardwarePacing
 
+	// The packet/ACK recycler is private to this run: repro grids run many
+	// Run calls in parallel and a shared pool would race.
+	var pool *seg.Pool
+	if !spec.DisablePool {
+		pool = seg.NewPool()
+	}
+
 	icfg := iperf.Config{
 		Conns:    spec.Conns,
 		Duration: spec.Duration,
@@ -399,6 +415,7 @@ func Run(spec Spec) (*Result, error) {
 		AppCPU:   appCPU,
 		Bus:      bus,
 		Metrics:  reg,
+		Pool:     pool,
 	}
 	if len(factories) == 1 {
 		icfg.CC = factories[0]
@@ -416,6 +433,9 @@ func Run(spec Spec) (*Result, error) {
 		for _, c := range sess.Conns() {
 			chk.Watch(c)
 		}
+		if pool != nil {
+			chk.WatchPool(pool, path)
+		}
 		chk.Start()
 	}
 	if bus != nil {
@@ -428,6 +448,9 @@ func Run(spec Spec) (*Result, error) {
 	if spec.corruptAt > 0 {
 		eng.Schedule(spec.corruptAt, func() { sess.Conns()[0].CorruptInflightForTest(3) })
 	}
+	if spec.leakAt > 0 && pool != nil {
+		eng.Schedule(spec.leakAt, func() { pool.LeakPacketForTest() })
+	}
 	var coll *telemetry.EngineCollector
 	if tel.Metrics {
 		coll = telemetry.StartEngineCollector(eng)
@@ -438,6 +461,9 @@ func Run(spec Spec) (*Result, error) {
 	}
 	if chk != nil {
 		chk.CheckNow()
+		// sess.Run has reclaimed the network's hold buffers by now, so
+		// anything still outstanding in the pool is a genuine leak.
+		chk.CheckLeaks()
 		if cerr := chk.Err(); cerr != nil {
 			return nil, cerr
 		}

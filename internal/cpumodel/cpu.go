@@ -130,6 +130,34 @@ func (c *CPU) SubmitOp(op Op, fn func()) time.Duration {
 	return c.Submit(op, c.costs.Of(op), fn)
 }
 
+// SubmitP is the allocation-free form of Submit for the data path: fn is a
+// long-lived callback shared across jobs and arg carries the per-job payload
+// (see sim.Engine.ScheduleP). fn must be non-nil.
+func (c *CPU) SubmitP(op Op, cycles float64, fn func(any), arg any) time.Duration {
+	if cycles < 0 {
+		panic("cpumodel: negative cycle cost")
+	}
+	now := c.eng.Now()
+	start := c.busyUntil
+	if start < now {
+		start = now
+	}
+	service := time.Duration(cycles * c.pressure / c.speed * float64(time.Second))
+	done := start + service
+	c.busyUntil = done
+	c.windowBusy += service
+	c.totalBusy += service
+	if op >= 0 && op < numOps {
+		c.opCount[op]++
+		c.opCycles[op] += cycles
+	}
+	if c.observer != nil {
+		c.observer(op, cycles)
+	}
+	c.eng.SchedulePAt(done, fn, arg)
+	return done
+}
+
 // QueueDelay returns how long a job submitted now would wait before starting.
 func (c *CPU) QueueDelay() time.Duration {
 	now := c.eng.Now()

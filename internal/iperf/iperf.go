@@ -15,6 +15,7 @@ import (
 	"mobbr/internal/cpumodel"
 	"mobbr/internal/fairness"
 	"mobbr/internal/netem"
+	"mobbr/internal/seg"
 	"mobbr/internal/sim"
 	"mobbr/internal/stats"
 	"mobbr/internal/tcp"
@@ -57,6 +58,10 @@ type Config struct {
 	// size, send quantum, inter-send gap, delivery rate, timer slippage);
 	// Collect snapshots it into Report.Metrics.
 	Metrics *telemetry.Registry
+	// Pool, when set, is the run-private packet/ACK recycler threaded
+	// through the senders, the path and the demux; Run reclaims everything
+	// still held at run end and Collect reports the pool census.
+	Pool *seg.Pool
 }
 
 // Session is one assembled iPerf run.
@@ -121,6 +126,8 @@ func New(eng *sim.Engine, cpu *cpumodel.CPU, path *netem.Path, cfg Config) (*Ses
 		cfg.AppCPU.SetPressure(pressure)
 	}
 	demux := tcp.NewDemux()
+	demux.SetPool(cfg.Pool)
+	path.SetPool(cfg.Pool)
 	for i := 0; i < cfg.Conns; i++ {
 		tcfg := cfg.TCP
 		if cfg.StaggerStarts > 0 && cfg.Conns > 1 {
@@ -131,6 +138,7 @@ func New(eng *sim.Engine, cpu *cpumodel.CPU, path *netem.Path, cfg Config) (*Ses
 			factory = cfg.CCMix[i%len(cfg.CCMix)]
 		}
 		conn := tcp.NewConn(i, eng, cpu, path, tcfg, factory)
+		conn.SetPool(cfg.Pool)
 		if cfg.AppCPU != nil {
 			conn.SetAppCPU(cfg.AppCPU)
 		}
@@ -218,6 +226,13 @@ func (s *Session) Run() *Report {
 	for _, c := range s.conns {
 		c.Stop()
 	}
+	// The engine halted at the run horizon with deliver/process events
+	// still pending; the packets and ACKs those events own are handed back
+	// through the hold lists so the pool balances to zero.
+	s.path.Reclaim()
+	for _, c := range s.conns {
+		c.ReclaimAcks()
+	}
 	return s.Collect()
 }
 
@@ -278,6 +293,11 @@ type Report struct {
 	// Metrics is the telemetry-registry snapshot when Config.Metrics was
 	// set (nil otherwise).
 	Metrics *telemetry.Snapshot
+	// Pool is the packet/ACK recycler census when Config.Pool was set:
+	// how many objects were handed out, how many of those were recycled
+	// rather than freshly allocated, and what was still outstanding at
+	// collection time (zero after a clean reclaim).
+	Pool seg.PoolStats
 }
 
 // WriteIntervalsCSV writes the interval series as CSV (start_s, end_s,
@@ -314,6 +334,9 @@ func (s *Session) Collect() *Report {
 	}
 	if s.cfg.Metrics != nil {
 		r.Metrics = s.cfg.Metrics.Snapshot()
+	}
+	if s.cfg.Pool != nil {
+		r.Pool = s.cfg.Pool.Stats()
 	}
 	var goodBytes units.DataSize
 	var sumSKB, sumIdle, periods float64

@@ -49,6 +49,15 @@ type Path struct {
 	hops  []*Pipe
 	recv  PacketHandler
 	drops uint64
+
+	pool *seg.Pool
+	// ackTo holds the registered per-flow ACK handlers (index = flow id);
+	// ackList tracks ACKs in return flight so the run-end reclaim can reach
+	// them, and ackDeliverFn is the shared propagation-complete callback
+	// (see sim.Engine.ScheduleP).
+	ackTo        []AckHandler
+	ackList      seg.AckList
+	ackDeliverFn func(any)
 }
 
 // NewPath builds the chain of pipes described by cfg, rejecting invalid
@@ -58,6 +67,11 @@ func NewPath(eng *sim.Engine, cfg PathConfig) (*Path, error) {
 		return nil, err
 	}
 	p := &Path{eng: eng, cfg: cfg}
+	p.ackDeliverFn = func(v any) {
+		a := v.(*seg.Ack)
+		p.ackList.Remove(a)
+		p.ackTo[a.Flow](a)
+	}
 	// Build from the last hop backwards so each pipe can point at the
 	// next one's Enqueue.
 	next := PacketHandler(func(pkt *seg.Packet) {
@@ -90,6 +104,27 @@ func NewPath(eng *sim.Engine, cfg PathConfig) (*Path, error) {
 // SetReceiver attaches the handler that receives packets at the far end.
 func (p *Path) SetReceiver(h PacketHandler) { p.recv = h }
 
+// SetPool attaches the run's pool to the path and every hop, so drops
+// release packets and the run-end reclaim can return held objects.
+func (p *Path) SetPool(pool *seg.Pool) {
+	p.pool = pool
+	for _, h := range p.hops {
+		h.SetPool(pool)
+	}
+}
+
+// RegisterAckHandler routes ACKs for flow to h on the ReturnAckFlow fast
+// path. Flow ids are small dense integers (iperf numbers them 0..n-1).
+func (p *Path) RegisterAckHandler(flow int, h AckHandler) {
+	if h == nil {
+		panic("netem: RegisterAckHandler needs a handler")
+	}
+	for len(p.ackTo) <= flow {
+		p.ackTo = append(p.ackTo, nil)
+	}
+	p.ackTo[flow] = h
+}
+
 // Send offers a packet to the first hop. It reports whether the packet was
 // accepted by that hop (drop-tail or loss injection may refuse it).
 func (p *Path) Send(pkt *seg.Packet) bool {
@@ -100,13 +135,41 @@ func (p *Path) Send(pkt *seg.Packet) bool {
 	return ok
 }
 
-// ReturnAck delivers an ACK to the sender-side handler after the return
-// path delay.
+// ReturnAck delivers an ACK to the given handler after the return path
+// delay. This is the flexible (closure-scheduling) form kept for direct
+// tests; the data path uses ReturnAckFlow. The ACK is tracked in the
+// return-flight hold list either way.
 func (p *Path) ReturnAck(a *seg.Ack, to AckHandler) {
 	if to == nil {
 		panic("netem: ReturnAck needs a handler")
 	}
-	p.eng.Schedule(p.cfg.AckDelay, func() { to(a) })
+	p.ackList.Push(a)
+	p.eng.Schedule(p.cfg.AckDelay, func() {
+		p.ackList.Remove(a)
+		to(a)
+	})
+}
+
+// ReturnAckFlow delivers an ACK to the handler registered for its flow
+// after the return path delay, without allocating: the shared deliver
+// callback rides ScheduleP and the ACK itself is the event argument.
+// Ordering (one engine sequence number) is identical to ReturnAck.
+func (p *Path) ReturnAckFlow(a *seg.Ack) {
+	p.ackList.Push(a)
+	p.eng.ScheduleP(p.cfg.AckDelay, p.ackDeliverFn, a)
+}
+
+// AckInFlight returns the number of ACKs currently on the return path.
+func (p *Path) AckInFlight() int { return p.ackList.Len() }
+
+// Reclaim releases everything the path still holds — packets on every hop
+// and ACKs in return flight — back to the pool. Called by the run harness
+// after the engine stops.
+func (p *Path) Reclaim() {
+	for _, h := range p.hops {
+		h.Reclaim()
+	}
+	p.ackList.Drain(p.pool.PutAck)
 }
 
 // Hop returns the i-th pipe, for configuring rates (WiFi) or reading stats.

@@ -113,12 +113,27 @@ type Pipe struct {
 	eng  *sim.Engine
 	cfg  PipeConfig
 	next PacketHandler
+	pool *seg.Pool // nil outside a pooled run; drops then just unreference
 
-	queue   []*seg.Packet
-	sending bool
-	paused  bool
-	geBad   bool // Gilbert–Elliott state: currently Bad
-	inDelay int  // packets past serialization, in propagation flight
+	// The drop-tail queue is a fixed ring sized to QueuePackets, so
+	// steady-state enqueue/dequeue never reallocates.
+	q     []*seg.Packet
+	qhead int
+	qlen  int
+
+	txPkt  *seg.Packet // packet mid-serialization, nil when the link is idle
+	paused bool
+	geBad  bool // Gilbert–Elliott state: currently Bad
+	// hold tracks packets past serialization, in propagation flight: they
+	// are owned by pending deliver events, and the hold list is what makes
+	// them reachable for the run-end reclaim.
+	hold seg.PacketList
+
+	// txDoneFn/deliverFn are the serialization-complete and propagation-
+	// complete callbacks, allocated once and carried through ScheduleP so
+	// the per-packet hot path schedules without closures.
+	txDoneFn  func(any)
+	deliverFn func(any)
 
 	// Stats.
 	enqueued   uint64
@@ -142,8 +157,15 @@ func NewPipe(eng *sim.Engine, cfg PipeConfig, next PacketHandler) (*Pipe, error)
 	if next == nil {
 		panic("netem: pipe needs a downstream handler")
 	}
-	return &Pipe{eng: eng, cfg: cfg, next: next}, nil
+	p := &Pipe{eng: eng, cfg: cfg, next: next, q: make([]*seg.Packet, cfg.QueuePackets)}
+	p.txDoneFn = func(v any) { p.txDone(v.(*seg.Packet)) }
+	p.deliverFn = func(v any) { p.deliver(v.(*seg.Packet)) }
+	return p, nil
 }
+
+// SetPool attaches the run's packet pool: packets the pipe drops (loss
+// injection, full queue) are released back to it at the drop point.
+func (p *Pipe) SetPool(pool *seg.Pool) { p.pool = pool }
 
 // SetRate changes the link rate for packets serialized from now on. The
 // WiFi model uses this to emulate rate adaptation. Non-positive rates are a
@@ -206,7 +228,7 @@ func (p *Pipe) Resume() {
 		return
 	}
 	p.paused = false
-	if !p.sending {
+	if p.txPkt == nil {
 		p.serveNext()
 	}
 }
@@ -239,68 +261,105 @@ func (p *Pipe) geDrop() bool {
 }
 
 // Enqueue offers a packet to the hop. It reports whether the packet was
-// accepted (false means dropped by loss injection or a full queue).
+// accepted. On false the packet was dropped (loss injection or full queue)
+// and — the drop being one of the pool's sink points — released back to the
+// run's pool; the caller must not touch it again.
 func (p *Pipe) Enqueue(pkt *seg.Packet) bool {
 	if p.cfg.GE != nil && p.geDrop() {
 		p.dropsRand++
+		p.pool.PutPacket(pkt)
 		return false
 	}
 	if p.cfg.LossRate > 0 && p.eng.Rand().Float64() < p.cfg.LossRate {
 		p.dropsRand++
+		p.pool.PutPacket(pkt)
 		return false
 	}
-	if len(p.queue) >= p.cfg.QueuePackets {
+	if p.qlen >= p.cfg.QueuePackets {
 		p.dropsQueue++
+		p.pool.PutPacket(pkt)
 		return false
 	}
 	p.enqueued++
-	if p.cfg.ECNThreshold > 0 && len(p.queue) >= p.cfg.ECNThreshold {
+	if p.cfg.ECNThreshold > 0 && p.qlen >= p.cfg.ECNThreshold {
 		pkt.CE = true
 		p.ceMarked++
 	}
-	p.queue = append(p.queue, pkt)
-	if !p.sending && !p.paused {
+	p.q[(p.qhead+p.qlen)%len(p.q)] = pkt
+	p.qlen++
+	if p.txPkt == nil && !p.paused {
 		p.serveNext()
 	}
 	return true
 }
 
 func (p *Pipe) serveNext() {
-	if len(p.queue) == 0 || p.paused {
-		p.sending = false
+	if p.qlen == 0 || p.paused {
 		return
 	}
-	p.sending = true
-	pkt := p.queue[0]
-	p.queue = p.queue[1:]
-	txTime := p.cfg.Rate.TimeToSend(pkt.Len)
-	p.eng.Schedule(txTime, func() {
-		p.delivered++
-		p.bytesOut += pkt.Len
-		delay := p.cfg.Delay
-		if p.cfg.ReorderJitter > 0 {
-			delay += time.Duration(p.eng.Rand().Int63n(int64(p.cfg.ReorderJitter)))
-		}
-		if delay > 0 {
-			p.inDelay++
-			p.eng.Schedule(delay, func() { p.inDelay--; p.next(pkt) })
-		} else {
-			p.next(pkt)
-		}
-		p.serveNext()
-	})
+	pkt := p.q[p.qhead]
+	p.q[p.qhead] = nil
+	p.qhead = (p.qhead + 1) % len(p.q)
+	p.qlen--
+	p.txPkt = pkt
+	p.eng.ScheduleP(p.cfg.Rate.TimeToSend(pkt.Len), p.txDoneFn, pkt)
+}
+
+// txDone fires when pkt's last bit leaves the link: hand it to propagation
+// (or straight downstream) and start serializing the next queued packet.
+func (p *Pipe) txDone(pkt *seg.Packet) {
+	p.txPkt = nil
+	p.delivered++
+	p.bytesOut += pkt.Len
+	delay := p.cfg.Delay
+	if p.cfg.ReorderJitter > 0 {
+		delay += time.Duration(p.eng.Rand().Int63n(int64(p.cfg.ReorderJitter)))
+	}
+	if delay > 0 {
+		p.hold.Push(pkt)
+		p.eng.ScheduleP(delay, p.deliverFn, pkt)
+	} else {
+		p.next(pkt)
+	}
+	p.serveNext()
+}
+
+// deliver fires when pkt's propagation delay elapses.
+func (p *Pipe) deliver(pkt *seg.Packet) {
+	p.hold.Remove(pkt)
+	p.next(pkt)
+}
+
+// Reclaim releases every packet the pipe still holds — ring queue,
+// mid-serialization slot, propagation flight — back to the pool. The run
+// harness calls it after the engine stops (pending deliver events never
+// fire past the run horizon, so these packets would otherwise count as
+// leaked).
+func (p *Pipe) Reclaim() {
+	for p.qlen > 0 {
+		pkt := p.q[p.qhead]
+		p.q[p.qhead] = nil
+		p.qhead = (p.qhead + 1) % len(p.q)
+		p.qlen--
+		p.pool.PutPacket(pkt)
+	}
+	if p.txPkt != nil {
+		p.pool.PutPacket(p.txPkt)
+		p.txPkt = nil
+	}
+	p.hold.Drain(p.pool.PutPacket)
 }
 
 // QueueLen returns the instantaneous queue depth in packets (not counting
 // the packet being serialized).
-func (p *Pipe) QueueLen() int { return len(p.queue) }
+func (p *Pipe) QueueLen() int { return p.qlen }
 
 // InTransit returns the packets the hop currently holds: queued, mid-
 // serialization, and in propagation-delay flight — the invariant checker's
 // view of where in-network packets are.
 func (p *Pipe) InTransit() int {
-	n := len(p.queue) + p.inDelay
-	if p.sending {
+	n := p.qlen + p.hold.Len()
+	if p.txPkt != nil {
 		n++
 	}
 	return n

@@ -1,0 +1,123 @@
+package seg
+
+import "testing"
+
+// FuzzPoolLifecycle drives random acquire/release orderings — including
+// deliberate double releases, foreign releases, and releases of held
+// objects — against the pool, and checks the pool's self-audit against an
+// independent model: outstanding counts must track exactly, every illegal
+// release must be recorded as a violation (never corrupt the freelist), and
+// a final full release must always bring the census back to zero.
+func FuzzPoolLifecycle(f *testing.F) {
+	f.Add([]byte{0, 0, 2, 1, 1, 3})
+	f.Add([]byte{0, 1, 1, 4, 0, 2, 2})
+	f.Add([]byte{5, 0, 3, 0, 1, 5, 4, 2, 1, 3})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		pool := NewPool()
+		var (
+			livePkts []*Packet
+			liveAcks []*Ack
+			freed    []*Packet // released once; releasing again is a double release
+			held     PacketList
+			heldPkts []*Packet
+			wantViol int
+		)
+		// acquire pops recycled pointers back out of the freed set — a
+		// pointer the pool has re-issued is live again, so releasing it
+		// would no longer be a double release.
+		acquire := func() *Packet {
+			p := pool.GetPacket()
+			for i, q := range freed {
+				if q == p {
+					freed = append(freed[:i], freed[i+1:]...)
+					break
+				}
+			}
+			return p
+		}
+		for _, op := range ops {
+			switch op % 8 {
+			case 0: // acquire packet
+				livePkts = append(livePkts, acquire())
+			case 1: // release oldest live packet
+				if len(livePkts) > 0 {
+					p := livePkts[0]
+					livePkts = livePkts[1:]
+					pool.PutPacket(p)
+					freed = append(freed, p)
+				}
+			case 2: // acquire ACK
+				liveAcks = append(liveAcks, pool.GetAck())
+			case 3: // release newest live ACK
+				if len(liveAcks) > 0 {
+					a := liveAcks[len(liveAcks)-1]
+					liveAcks = liveAcks[:len(liveAcks)-1]
+					pool.PutAck(a)
+				}
+			case 4: // double release
+				if len(freed) > 0 {
+					pool.PutPacket(freed[0])
+					wantViol++
+				}
+			case 5: // foreign release
+				pool.PutPacket(&Packet{})
+				wantViol++
+			case 6: // park a live packet on a hold list
+				if len(livePkts) > 0 {
+					p := livePkts[0]
+					livePkts = livePkts[1:]
+					held.Push(p)
+					heldPkts = append(heldPkts, p)
+				}
+			case 7: // release while held: violation, object stays live
+				if len(heldPkts) > 0 {
+					pool.PutPacket(heldPkts[0])
+					wantViol++
+				}
+			}
+		}
+		st := pool.Stats()
+		wantPkts := len(livePkts) + held.Len()
+		if st.OutstandingPackets != wantPkts {
+			t.Fatalf("outstanding packets %d, model says %d", st.OutstandingPackets, wantPkts)
+		}
+		if st.OutstandingAcks != len(liveAcks) {
+			t.Fatalf("outstanding ACKs %d, model says %d", st.OutstandingAcks, len(liveAcks))
+		}
+		if st.Violations != wantViol {
+			t.Fatalf("violations %d, model says %d", st.Violations, wantViol)
+		}
+		// Legal releases must never have been rejected.
+		if st.PacketPuts != st.PacketGets-uint64(wantPkts) {
+			t.Fatalf("puts %d, gets %d, outstanding %d — a legal release was rejected",
+				st.PacketPuts, st.PacketGets, wantPkts)
+		}
+		// Run-end reclaim: drain the hold list and release everything.
+		held.Drain(pool.PutPacket)
+		for _, p := range livePkts {
+			pool.PutPacket(p)
+		}
+		for _, a := range liveAcks {
+			pool.PutAck(a)
+		}
+		st = pool.Stats()
+		if st.OutstandingPackets != 0 || st.OutstandingAcks != 0 {
+			t.Fatalf("after full reclaim: %d packets, %d ACKs outstanding",
+				st.OutstandingPackets, st.OutstandingAcks)
+		}
+		if st.Violations != wantViol {
+			t.Fatalf("reclaim added violations: %d, model says %d", st.Violations, wantViol)
+		}
+		// The freelist must be intact: every recycled object comes back
+		// exactly once, zeroed.
+		n := int(st.PacketPuts)
+		seen := make(map[*Packet]bool, n)
+		for i := 0; i < n; i++ {
+			p := pool.GetPacket()
+			if seen[p] {
+				t.Fatal("freelist returned the same packet twice")
+			}
+			seen[p] = true
+		}
+	})
+}

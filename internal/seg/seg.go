@@ -38,6 +38,13 @@ type Packet struct {
 	DeliveredTimeAtSend time.Duration
 	FirstSentAtSend     time.Duration
 	AppLimitedAtSend    bool
+
+	// Pool plumbing: freelist / hold-list links and the lifecycle state.
+	// A packet is on at most one intrusive list at a time — the pool's
+	// freelist while free, or one holder's PacketList while in flight.
+	next, prev *Packet
+	life       lifeState
+	listed     bool
 }
 
 // End returns the sequence number one past the packet's last byte.
@@ -75,4 +82,9 @@ type Ack struct {
 	// CECount is how many CE-marked segments this ACK covers (the
 	// receiver's ECE echo, counted rather than latched, as AccECN does).
 	CECount int64
+
+	// Pool plumbing, as on Packet.
+	next, prev *Ack
+	life       lifeState
+	listed     bool
 }

@@ -48,9 +48,14 @@ const (
 // increments on every recycle so stale Timer handles cannot touch the new
 // occupant.
 type eventItem struct {
-	at        time.Duration
-	seq       uint64 // tie-break so equal-time events run in schedule order
-	fn        Event
+	at  time.Duration
+	seq uint64 // tie-break so equal-time events run in schedule order
+	fn  Event
+	// pfn/arg are the ScheduleP form: a shared callback plus a pointer-shaped
+	// argument, so deferring a packet/ACK delivery needs no per-event closure.
+	// Exactly one of fn and pfn is set on a live item.
+	pfn       func(any)
+	arg       any
 	next      int32 // freelist / wheel-slot chain link
 	pos       int32 // index in the heap slice, -1 when not heap-resident
 	gen       uint32
@@ -122,7 +127,7 @@ func (t *Timer) Reschedule(delay time.Duration) bool {
 		return false
 	}
 	it := &e.items[t.idx]
-	if it.gen != t.gen || it.where == wFree || it.fn == nil {
+	if it.gen != t.gen || it.where == wFree || (it.fn == nil && it.pfn == nil) {
 		return false
 	}
 	if delay < 0 {
@@ -142,7 +147,7 @@ func (t *Timer) Reschedule(delay time.Duration) bool {
 	case wWheel0, wWheel1:
 		// Wheel slots are singly-linked: unlinking mid-chain is O(slot), so
 		// retire this entry (reclaimed at flush) and take a fresh one.
-		fn := it.fn
+		fn, pfn, arg := it.fn, it.pfn, it.arg
 		if !it.cancelled {
 			it.cancelled = true
 			e.livePending--
@@ -150,6 +155,7 @@ func (t *Timer) Reschedule(delay time.Duration) bool {
 		nidx := e.alloc()
 		nit := &e.items[nidx]
 		nit.at, nit.seq, nit.fn = at, seq, fn
+		nit.pfn, nit.arg = pfn, arg
 		e.place(nidx)
 		e.noteQueued()
 		t.idx, t.gen = nidx, nit.gen
@@ -394,6 +400,8 @@ func (e *Engine) recycle(idx int32) {
 	it := &e.items[idx]
 	it.gen++
 	it.fn = nil
+	it.pfn = nil
+	it.arg = nil
 	it.cancelled = false
 	it.where = wFree
 	it.pos = -1
@@ -459,6 +467,38 @@ func (e *Engine) Schedule(delay time.Duration, fn Event) Timer {
 // clamped to now.
 func (e *Engine) ScheduleAt(at time.Duration, fn Event) Timer {
 	return e.Schedule(at-e.now, fn)
+}
+
+// ScheduleP runs fn(arg) after delay of virtual time. It is the
+// allocation-free form of Schedule for the data path: fn is a long-lived
+// callback shared across events (a pipe's deliver function, a conn's
+// ACK-process function) and arg carries the per-event payload. Because arg
+// is pointer-shaped (*seg.Packet, *seg.Ack), storing it in the item's `any`
+// field does not allocate, where the equivalent closure would.
+// Ordering is identical to Schedule: one sequence number per call.
+func (e *Engine) ScheduleP(delay time.Duration, fn func(any), arg any) Timer {
+	if fn == nil {
+		panic("sim: ScheduleP with nil callback")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	idx := e.alloc()
+	it := &e.items[idx]
+	it.at = e.now + delay
+	it.seq = e.seq
+	e.seq++
+	it.pfn = fn
+	it.arg = arg
+	e.place(idx)
+	e.noteQueued()
+	e.lastScheduled = it.at
+	return Timer{eng: e, idx: idx, gen: it.gen}
+}
+
+// SchedulePAt is the absolute-time form of ScheduleP.
+func (e *Engine) SchedulePAt(at time.Duration, fn func(any), arg any) Timer {
+	return e.ScheduleP(at-e.now, fn, arg)
 }
 
 // --- inlined 4-ary min-heap over arena indices ------------------------------
@@ -632,8 +672,13 @@ func (e *Engine) Step() bool {
 	it.where = wFiring
 	e.livePending--
 	e.processed++
-	fn := it.fn
-	fn()
+	if it.pfn != nil {
+		pfn, arg := it.pfn, it.arg
+		pfn(arg)
+	} else {
+		fn := it.fn
+		fn()
+	}
 	// The arena may have grown during fn; re-index. Reclaim unless the
 	// callback rescheduled its own item back into the queue.
 	if e.items[idx].where == wFiring {

@@ -17,16 +17,24 @@ import (
 // backlog the paper observes on low-end configurations.
 func (c *Conn) OnAckArrival(a *seg.Ack) {
 	if c.done {
+		// A stopped connection is still the ACK's sink point.
+		c.pool.PutAck(a)
 		return
 	}
 	costs := c.cpu.Costs()
 	c.cpu.Submit(cpumodel.OpAckProcess, costs.AckProcess, nil)
-	c.cpu.Submit(cpumodel.OpCCUpdate, c.ccMod.AckCost(), func() { c.processAck(a) })
+	c.pendingAcks.Push(a)
+	c.cpu.SubmitP(cpumodel.OpCCUpdate, c.ccMod.AckCost(), c.processAckFn, a)
 }
 
-// processAck runs once the CPU has finished the ACK's protocol work.
+// processAck runs once the CPU has finished the ACK's protocol work. It is
+// the ACK's sink point: on every return path the ACK goes back to the pool.
+// The SACK blocks in a.Sacks are therefore only valid within this call —
+// the scoreboard copies the ranges it needs, never the slice.
 func (c *Conn) processAck(a *seg.Ack) {
+	c.pendingAcks.Remove(a)
 	if c.done {
+		c.pool.PutAck(a)
 		return
 	}
 	now := c.eng.Now()
@@ -63,15 +71,17 @@ func (c *Conn) processAck(a *seg.Ack) {
 		}
 	}
 
-	// Cumulative ACK.
+	// Cumulative ACK. Popped entries leave the scoreboard for good, so
+	// each is recycled onto the pktInfo freelist once delivered.
 	if a.CumAck > c.sndUna {
 		for _, p := range c.board.popAcked(a.CumAck) {
 			if p.sacked {
 				// Already delivered when SACKed; just retire.
 				p.acked = true
-				continue
+			} else {
+				deliver(p)
 			}
-			deliver(p)
+			c.freeInfo(p)
 		}
 		c.sndUna = a.CumAck
 		c.rtoBackoff = 0
@@ -205,6 +215,7 @@ func (c *Conn) processAck(a *seg.Ack) {
 	// then the ACK clock triggers a send attempt.
 	c.appPump()
 	c.trySend()
+	c.pool.PutAck(a)
 }
 
 // undoSpuriousRTO restores the pre-timeout cwnd/ssthresh, un-condemns the

@@ -114,6 +114,30 @@ type Conn struct {
 	pacingFire   func()
 	rtoFire      func()
 	watchdogFire func()
+
+	// pool is the run's packet/ACK recycler (nil in unit tests — every
+	// acquire then heap-allocates). infoFree is the connection-private
+	// freelist of scoreboard entries, recycled as the cumulative ACK
+	// retires them.
+	pool     *seg.Pool
+	infoFree *pktInfo
+
+	// pendingAcks holds ACKs the network has delivered but the CPU model
+	// has not yet processed (between OnAckArrival and processAck), so they
+	// are reachable for the run-end reclaim.
+	pendingAcks seg.AckList
+	// processAckFn is the shared CPU-completion callback for ACK
+	// processing; the ACK rides along as the SubmitP argument.
+	processAckFn func(any)
+
+	// Transmit-job state parked on the connection while the CPU model
+	// serializes the batch (xmitBusy guards a single outstanding job):
+	// emitFn is the shared completion callback, xmitRetx the reusable
+	// retransmission batch buffer.
+	emitFn       func()
+	xmitRetx     []*pktInfo
+	xmitNew      int
+	xmitPaceFrom time.Duration
 }
 
 // NewConn creates a connection with the given flow id. The congestion
@@ -142,7 +166,29 @@ func NewConn(id int, eng *sim.Engine, cpu *cpumodel.CPU, path *netem.Path, cfg C
 	c.pacingFire = c.pacingExpired
 	c.rtoFire = c.onRTOTimer
 	c.watchdogFire = c.watchdogCheck
+	c.processAckFn = func(v any) { c.processAck(v.(*seg.Ack)) }
+	c.emitFn = func() { c.emit(c.xmitPaceFrom, c.xmitRetx, c.xmitNew) }
 	return c
+}
+
+// SetPool attaches the run's packet/ACK pool. Call before Start.
+func (c *Conn) SetPool(pool *seg.Pool) { c.pool = pool }
+
+// allocInfo takes a zeroed scoreboard entry from the connection's freelist.
+func (c *Conn) allocInfo() *pktInfo {
+	p := c.infoFree
+	if p == nil {
+		return &pktInfo{}
+	}
+	c.infoFree = p.free
+	*p = pktInfo{}
+	return p
+}
+
+// freeInfo recycles a scoreboard entry the cumulative ACK retired.
+func (c *Conn) freeInfo(p *pktInfo) {
+	p.free = c.infoFree
+	c.infoFree = p
 }
 
 // ID returns the flow id.
@@ -439,7 +485,8 @@ func (c *Conn) trySend() {
 	if c.state != cc.StateOpen && target > 2 {
 		target = 2
 	}
-	retx := c.board.lostPending(target)
+	retx := c.board.lostPendingInto(c.xmitRetx[:0], target)
+	c.xmitRetx = retx
 	newSegs := 0
 	if rem := target - len(retx); rem > 0 {
 		backlog := c.appBacklogSegs()
@@ -467,9 +514,11 @@ func (c *Conn) trySend() {
 	}
 	c.cpu.Submit(cpumodel.OpSKBXmit, costs.SKBXmit, nil)
 	total := len(retx) + newSegs
-	c.cpu.Submit(cpumodel.OpSegXmit, float64(total)*costs.SegXmit, func() {
-		c.emit(paceFrom, retx, newSegs)
-	})
+	// Park the batch on the connection; emitFn picks it up at CPU
+	// completion (xmitBusy guarantees a single outstanding job).
+	c.xmitPaceFrom = paceFrom
+	c.xmitNew = newSegs
+	c.cpu.Submit(cpumodel.OpSegXmit, float64(total)*costs.SegXmit, c.emitFn)
 }
 
 // cwndRestartAfterIdle is tcp_cwnd_restart (RFC 2861): a window validated
@@ -578,7 +627,8 @@ func (c *Conn) emit(paceFrom time.Duration, retx []*pktInfo, newSegs int) {
 				l = units.DataSize(rem)
 			}
 		}
-		p := &pktInfo{seq: c.sndNxt, len: l, sentAt: now, inFlite: true}
+		p := c.allocInfo()
+		p.seq, p.len, p.sentAt, p.inFlite = c.sndNxt, l, now, true
 		c.snapshot(p)
 		c.board.add(p)
 		c.sndNxt += int64(l)
@@ -611,17 +661,17 @@ func (c *Conn) emit(paceFrom time.Duration, retx []*pktInfo, newSegs int) {
 }
 
 func (c *Conn) mkPacket(p *pktInfo) *seg.Packet {
-	return &seg.Packet{
-		Flow:                c.id,
-		Seq:                 p.seq,
-		Len:                 p.len,
-		SentAt:              p.sentAt,
-		Retx:                p.retx,
-		DeliveredAtSend:     p.snapDelivered,
-		DeliveredTimeAtSend: p.snapDeliveredTime,
-		FirstSentAtSend:     p.snapFirstTx,
-		AppLimitedAtSend:    p.snapAppLimited,
-	}
+	pkt := c.pool.GetPacket()
+	pkt.Flow = c.id
+	pkt.Seq = p.seq
+	pkt.Len = p.len
+	pkt.SentAt = p.sentAt
+	pkt.Retx = p.retx
+	pkt.DeliveredAtSend = p.snapDelivered
+	pkt.DeliveredTimeAtSend = p.snapDeliveredTime
+	pkt.FirstSentAtSend = p.snapFirstTx
+	pkt.AppLimitedAtSend = p.snapAppLimited
+	return pkt
 }
 
 // armPacingTimer schedules the pacing-gate reopening. The timer's expiry is
@@ -809,6 +859,11 @@ type Audit struct {
 	MaxCwnd    int
 	PacingRate units.Bandwidth
 	Failed     error
+
+	// HeldAcks is the number of pooled ACKs parked behind the CPU model
+	// (delivered by the network, not yet processed) — part of the pool
+	// conservation check.
+	HeldAcks int
 }
 
 // Audit walks the scoreboard and returns the connection's bookkeeping
@@ -832,7 +887,15 @@ func (c *Conn) Audit() Audit {
 		MaxCwnd:          c.cfg.MaxCwnd,
 		PacingRate:       c.pacingRate,
 		Failed:           c.failedErr,
+		HeldAcks:         c.pendingAcks.Len(),
 	}
+}
+
+// ReclaimAcks releases ACKs still parked behind the CPU model back to the
+// pool. The run harness calls it after the engine stops — the processAck
+// events that would have consumed them never fire past the run horizon.
+func (c *Conn) ReclaimAcks() {
+	c.pendingAcks.Drain(c.pool.PutAck)
 }
 
 // CorruptInflightForTest deliberately skews the inflight counter so tests

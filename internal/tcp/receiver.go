@@ -38,23 +38,35 @@ type Receiver struct {
 	ceSinceAck   int64
 	flush        sim.Timer
 	flushFire    func() // cached flush callback: re-arming allocates nothing
-	lastPkt      *seg.Packet
+
+	// The GRO flush needs the last packet's echo fields after the packet
+	// itself has been consumed (released to the pool at the end of
+	// OnPacket), so they are copied out rather than aliased.
+	lastSentAt time.Duration
+	lastRetx   bool
+	lastEnd    int64
+	haveLast   bool
 
 	goodBytes units.DataSize // in-order bytes delivered (goodput)
 	dupPkts   uint64
 	acksSent  uint64
 }
 
-// NewReceiver builds the receiving endpoint for conn.
+// NewReceiver builds the receiving endpoint for conn and registers the
+// connection's ACK-arrival handler on the path's per-flow return fast path.
 func NewReceiver(eng *sim.Engine, path *netem.Path, conn *Conn) *Receiver {
 	r := &Receiver{eng: eng, path: path, conn: conn, cfg: conn.cfg}
 	r.flushFire = r.flushExpired
+	path.RegisterAckHandler(conn.id, conn.OnAckArrival)
 	return r
 }
 
-// OnPacket processes one arriving data segment.
+// OnPacket processes one arriving data segment. This is the packet's sink
+// point: its payload is absorbed into the reassembly state and the packet
+// object is released back to the pool before returning.
 func (r *Receiver) OnPacket(pkt *seg.Packet) {
-	r.lastPkt = pkt
+	r.lastSentAt, r.lastRetx, r.lastEnd = pkt.SentAt, pkt.Retx, pkt.End()
+	r.haveLast = true
 	if pkt.CE {
 		r.ceSinceAck++
 	}
@@ -63,7 +75,7 @@ func (r *Receiver) OnPacket(pkt *seg.Packet) {
 		// Duplicate (spurious retransmission): ACK immediately so the
 		// sender's scoreboard converges.
 		r.dupPkts++
-		r.sendAck(pkt)
+		r.sendAck(pkt.SentAt, pkt.Retx, pkt.End())
 	case pkt.Seq <= r.rcvNxt:
 		// In-order (possibly overlapping the edge): advance and pull in
 		// any out-of-order data that is now contiguous.
@@ -74,15 +86,16 @@ func (r *Receiver) OnPacket(pkt *seg.Packet) {
 		r.mergeContiguous()
 		r.pendingBytes += pkt.Len
 		if len(r.ooo) > 0 || r.pendingBytes >= groMaxBytes {
-			r.sendAck(pkt)
+			r.sendAck(pkt.SentAt, pkt.Retx, pkt.End())
 		} else {
 			r.armFlush()
 		}
 	default:
 		// Out of order: store and ACK immediately (dupack with SACK).
 		r.insertOOO(seg.SackBlock{Start: pkt.Seq, End: pkt.End()})
-		r.sendAck(pkt)
+		r.sendAck(pkt.SentAt, pkt.Retx, pkt.End())
 	}
+	r.conn.pool.PutPacket(pkt)
 }
 
 // covered reports whether the packet's range is already held out-of-order.
@@ -135,23 +148,26 @@ func (r *Receiver) armFlush() {
 
 // flushExpired is the GRO flush timer's callback (cached in flushFire).
 func (r *Receiver) flushExpired() {
-	if r.pendingBytes > 0 && r.lastPkt != nil {
-		r.sendAck(r.lastPkt)
+	if r.pendingBytes > 0 && r.haveLast {
+		r.sendAck(r.lastSentAt, r.lastRetx, r.lastEnd)
 	}
 }
 
-// sendAck builds and returns an ACK echoing the triggering packet.
-func (r *Receiver) sendAck(trigger *seg.Packet) {
+// sendAck builds and returns an ACK echoing the triggering packet's fields.
+// SACK blocks are value-copied out of r.ooo into the ACK's (pool-recycled)
+// Sacks slice, so the ACK never aliases the receiver's out-of-order state —
+// and conversely the ACK path may recycle the ACK without the receiver
+// noticing (the fix for SACK slices outliving ACK consumption).
+func (r *Receiver) sendAck(echoSentAt time.Duration, echoRetx bool, ackedEnd int64) {
 	r.pendingBytes = 0
 	r.flush.Stop()
-	a := &seg.Ack{
-		Flow:        trigger.Flow,
-		CumAck:      r.rcvNxt,
-		EchoSentAt:  trigger.SentAt,
-		EchoRetx:    trigger.Retx,
-		AckedPktEnd: trigger.End(),
-		CECount:     r.ceSinceAck,
-	}
+	a := r.conn.pool.GetAck()
+	a.Flow = r.conn.id
+	a.CumAck = r.rcvNxt
+	a.EchoSentAt = echoSentAt
+	a.EchoRetx = echoRetx
+	a.AckedPktEnd = ackedEnd
+	a.CECount = r.ceSinceAck
 	r.ceSinceAck = 0
 	// Report up to three SACK blocks, newest-covering first.
 	if len(r.ooo) > 0 {
@@ -161,7 +177,7 @@ func (r *Receiver) sendAck(trigger *seg.Packet) {
 		}
 	}
 	r.acksSent++
-	r.path.ReturnAck(a, r.conn.OnAckArrival)
+	r.path.ReturnAckFlow(a)
 }
 
 // GoodBytes returns the in-order bytes delivered so far.
@@ -175,11 +191,16 @@ func (r *Receiver) AcksSent() uint64 { return r.acksSent }
 
 // Demux routes packets arriving at the server to per-connection receivers.
 type Demux struct {
-	rx map[int]*Receiver
+	rx   map[int]*Receiver
+	pool *seg.Pool
 }
 
 // NewDemux returns an empty demultiplexer; install it with path.SetReceiver.
 func NewDemux() *Demux { return &Demux{rx: make(map[int]*Receiver)} }
+
+// SetPool attaches the run's pool so packets for unknown flows (dropped
+// silently) are still released.
+func (d *Demux) SetPool(pool *seg.Pool) { d.pool = pool }
 
 // Add registers a receiver for its connection's flow id.
 func (d *Demux) Add(r *Receiver) { d.rx[r.conn.id] = r }
@@ -188,6 +209,8 @@ func (d *Demux) Add(r *Receiver) { d.rx[r.conn.id] = r }
 func (d *Demux) Handle(pkt *seg.Packet) {
 	if r, ok := d.rx[pkt.Flow]; ok {
 		r.OnPacket(pkt)
+	} else {
+		d.pool.PutPacket(pkt)
 	}
 }
 

@@ -24,6 +24,10 @@ type pktInfo struct {
 	snapDeliveredTime time.Duration
 	snapFirstTx       time.Duration
 	snapAppLimited    bool
+
+	// free links the entry on its connection's pktInfo freelist once the
+	// cumulative ACK retires it (tcp_clean_rtx_queue frees the skb there).
+	free *pktInfo
 }
 
 func (p *pktInfo) end() int64 { return p.seq + int64(p.len) }
@@ -31,9 +35,18 @@ func (p *pktInfo) end() int64 { return p.seq + int64(p.len) }
 // scoreboard tracks sent-but-unacked segments in sequence order. Entries
 // are appended as new data is sent and dropped from the front as the
 // cumulative ACK advances; retransmissions update entries in place.
+//
+// Result-slice lifetime: popAcked, markSacked, detectLosses, markAllLost and
+// undoLost all return views of one shared scratch buffer, so each result is
+// valid only until the next call to any of them — callers must consume it
+// immediately (the ACK path does: each result is fully processed before the
+// next scoreboard call). lostPendingInto appends into a caller-owned buffer
+// instead, because the transmit path retains its result across a CPU-model
+// completion.
 type scoreboard struct {
 	entries []*pktInfo
 	head    int // index of first live entry
+	scratch []*pktInfo
 }
 
 // add appends a newly sent segment (must be in sequence order).
@@ -55,7 +68,7 @@ func (s *scoreboard) at(i int) *pktInfo { return s.entries[s.head+i] }
 // popAcked removes entries fully covered by cumAck from the front and
 // returns them. Compaction keeps memory bounded on long runs.
 func (s *scoreboard) popAcked(cumAck int64) []*pktInfo {
-	var out []*pktInfo
+	out := s.scratch[:0]
 	for s.head < len(s.entries) && s.entries[s.head].end() <= cumAck {
 		out = append(out, s.entries[s.head])
 		s.entries[s.head] = nil
@@ -69,13 +82,14 @@ func (s *scoreboard) popAcked(cumAck int64) []*pktInfo {
 		s.entries = s.entries[:n]
 		s.head = 0
 	}
+	s.scratch = out
 	return out
 }
 
 // markSacked marks entries inside [start,end) as SACKed and returns the
 // newly sacked ones.
 func (s *scoreboard) markSacked(start, end int64) []*pktInfo {
-	var out []*pktInfo
+	out := s.scratch[:0]
 	for i := 0; i < s.liveLen(); i++ {
 		p := s.at(i)
 		if p.seq >= end {
@@ -89,6 +103,7 @@ func (s *scoreboard) markSacked(start, end int64) []*pktInfo {
 			out = append(out, p)
 		}
 	}
+	s.scratch = out
 	return out
 }
 
@@ -116,7 +131,7 @@ func (s *scoreboard) detectLosses(dupThresh int, reoWnd time.Duration) []*pktInf
 	// Count sacked entries from the top down; when the running count
 	// reaches dupThresh every unsacked entry below sent reoWnd before
 	// the newest evidence is deemed lost.
-	var out []*pktInfo
+	out := s.scratch[:0]
 	sackedAbove := 0
 	for i := n - 1; i >= 0; i-- {
 		p := s.at(i)
@@ -136,13 +151,14 @@ func (s *scoreboard) detectLosses(dupThresh int, reoWnd time.Duration) []*pktInf
 	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
 		out[i], out[j] = out[j], out[i]
 	}
+	s.scratch = out
 	return out
 }
 
 // markAllLost marks every unsacked in-flight entry lost (tcp_enter_loss on
 // RTO) and returns them in sequence order.
 func (s *scoreboard) markAllLost() []*pktInfo {
-	var out []*pktInfo
+	out := s.scratch[:0]
 	for i := 0; i < s.liveLen(); i++ {
 		p := s.at(i)
 		if p.acked || p.sacked || p.lost {
@@ -151,6 +167,7 @@ func (s *scoreboard) markAllLost() []*pktInfo {
 		p.lost = true
 		out = append(out, p)
 	}
+	s.scratch = out
 	return out
 }
 
@@ -158,7 +175,7 @@ func (s *scoreboard) markAllLost() []*pktInfo {
 // retransmitted (F-RTO spurious-timeout undo: the originals are still in
 // flight) and returns them in sequence order.
 func (s *scoreboard) undoLost() []*pktInfo {
-	var out []*pktInfo
+	out := s.scratch[:0]
 	for i := 0; i < s.liveLen(); i++ {
 		p := s.at(i)
 		if p.lost && !p.retx && !p.inFlite && !p.acked && !p.sacked {
@@ -167,6 +184,7 @@ func (s *scoreboard) undoLost() []*pktInfo {
 			out = append(out, p)
 		}
 	}
+	s.scratch = out
 	return out
 }
 
@@ -208,15 +226,20 @@ func (s *scoreboard) firstLost() *pktInfo {
 	return nil
 }
 
-// lostPending returns up to max lost entries awaiting retransmission, in
-// sequence order.
-func (s *scoreboard) lostPending(max int) []*pktInfo {
-	var out []*pktInfo
-	for i := 0; i < s.liveLen() && len(out) < max; i++ {
+// lostPendingInto appends up to max lost entries awaiting retransmission to
+// dst, in sequence order. The transmit path passes its own reusable buffer
+// because the result lives until the CPU model finishes the transmit job.
+func (s *scoreboard) lostPendingInto(dst []*pktInfo, max int) []*pktInfo {
+	for i := 0; i < s.liveLen() && len(dst) < max; i++ {
 		p := s.at(i)
 		if p.lost && !p.inFlite && !p.acked && !p.sacked {
-			out = append(out, p)
+			dst = append(dst, p)
 		}
 	}
-	return out
+	return dst
+}
+
+// lostPending returns up to max lost entries in a fresh slice.
+func (s *scoreboard) lostPending(max int) []*pktInfo {
+	return s.lostPendingInto(nil, max)
 }

@@ -1,8 +1,10 @@
-// Command benchcheck gates allocation regressions in CI: it reads `go test
-// -bench -benchmem` output on stdin, extracts allocs/op per benchmark, and
-// fails when any benchmark named in the checked-in baseline regresses past
-// the tolerance. The simulator is deterministic, so allocs/op is a stable
-// fingerprint of the engine's fast path even at -benchtime 1x.
+// Command benchcheck gates performance regressions in CI: it reads `go test
+// -bench -benchmem` output on stdin, extracts allocs/op and ns/op per
+// benchmark, and fails when any benchmark named in the checked-in baseline
+// regresses past its tolerance. The simulator is deterministic, so allocs/op
+// is a stable fingerprint of the engine's fast path even at -benchtime 1x;
+// ns/op is noisier, so it carries its own (looser) tolerance and is only
+// gated for baselines that record it.
 //
 //	go test -bench 'BenchmarkEngineThroughput' -benchmem -benchtime 1x -run XXX . \
 //	    | go run ./tools/benchcheck -baseline BENCH_baseline.json
@@ -18,18 +20,37 @@ import (
 	"strconv"
 )
 
-// Baseline is one benchmark's checked-in reference numbers.
+// Baseline is one benchmark's checked-in reference numbers. NsPerOp is
+// optional: zero (or absent) means wall time is not gated for that
+// benchmark — use it for benchmarks whose runtime is too short or too
+// machine-dependent to be a stable signal.
 type Baseline struct {
-	AllocsPerOp int64 `json:"allocs_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
 }
 
-// benchLine matches `BenchmarkName[-P] <iters> ... <N> allocs/op`, where -P
-// is the GOMAXPROCS suffix gotest appends on multi-core hosts.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+.*?\s(\d+) allocs/op`)
+// measurement is what one benchmark output line yields.
+type measurement struct {
+	allocs   int64
+	ns       float64
+	hasNs    bool
+	hasAlloc bool
+}
+
+// benchLine matches `BenchmarkName[-P] <iters> <rest>`, where -P is the
+// GOMAXPROCS suffix gotest appends on multi-core hosts. Metrics are pulled
+// out of <rest> by unit.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+var (
+	nsField    = regexp.MustCompile(`([\d.]+) ns/op`)
+	allocField = regexp.MustCompile(`(\d+) allocs/op`)
+)
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "checked-in baseline JSON")
 	tolerance := flag.Float64("tolerance", 1.10, "fail when measured allocs/op exceed baseline × this")
+	nsTolerance := flag.Float64("ns-tolerance", 1.15, "fail when measured ns/op exceed baseline × this (baselines with ns_per_op only)")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*baselinePath)
@@ -44,7 +65,7 @@ func main() {
 		fatalf("%s names no benchmarks", *baselinePath)
 	}
 
-	measured := map[string]int64{}
+	measured := map[string]measurement{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -54,11 +75,20 @@ func main() {
 		if m == nil {
 			continue
 		}
-		n, err := strconv.ParseInt(m[2], 10, 64)
-		if err != nil {
-			continue
+		var meas measurement
+		if f := nsField.FindStringSubmatch(m[2]); f != nil {
+			if v, err := strconv.ParseFloat(f[1], 64); err == nil {
+				meas.ns, meas.hasNs = v, true
+			}
 		}
-		measured[m[1]] = n
+		if f := allocField.FindStringSubmatch(m[2]); f != nil {
+			if v, err := strconv.ParseInt(f[1], 10, 64); err == nil {
+				meas.allocs, meas.hasAlloc = v, true
+			}
+		}
+		if meas.hasNs || meas.hasAlloc {
+			measured[m[1]] = meas
+		}
 	}
 	if err := sc.Err(); err != nil {
 		fatalf("reading stdin: %v", err)
@@ -72,17 +102,36 @@ func main() {
 			failed = true
 			continue
 		}
-		limit := int64(float64(base.AllocsPerOp) * *tolerance)
 		switch {
-		case got > limit:
-			fmt.Fprintf(os.Stderr, "benchcheck: FAIL %s: %d allocs/op > limit %d (baseline %d × %.2f)\n",
-				name, got, limit, base.AllocsPerOp, *tolerance)
+		case !got.hasAlloc:
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL %s: no allocs/op in input (run with -benchmem)\n", name)
 			failed = true
-		case float64(got) < 0.7*float64(base.AllocsPerOp):
+		case got.allocs > int64(float64(base.AllocsPerOp)**tolerance):
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL %s: %d allocs/op > limit %d (baseline %d × %.2f)\n",
+				name, got.allocs, int64(float64(base.AllocsPerOp)**tolerance), base.AllocsPerOp, *tolerance)
+			failed = true
+		case float64(got.allocs) < 0.7*float64(base.AllocsPerOp):
 			fmt.Fprintf(os.Stderr, "benchcheck: note: %s improved to %d allocs/op (baseline %d) — consider re-baselining\n",
-				name, got, base.AllocsPerOp)
+				name, got.allocs, base.AllocsPerOp)
 		default:
-			fmt.Fprintf(os.Stderr, "benchcheck: ok %s: %d allocs/op (baseline %d)\n", name, got, base.AllocsPerOp)
+			fmt.Fprintf(os.Stderr, "benchcheck: ok %s: %d allocs/op (baseline %d)\n", name, got.allocs, base.AllocsPerOp)
+		}
+		if base.NsPerOp <= 0 {
+			continue
+		}
+		switch {
+		case !got.hasNs:
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL %s: no ns/op in input\n", name)
+			failed = true
+		case got.ns > base.NsPerOp**nsTolerance:
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL %s: %.0f ns/op > limit %.0f (baseline %.0f × %.2f)\n",
+				name, got.ns, base.NsPerOp**nsTolerance, base.NsPerOp, *nsTolerance)
+			failed = true
+		case got.ns < 0.7*base.NsPerOp:
+			fmt.Fprintf(os.Stderr, "benchcheck: note: %s improved to %.0f ns/op (baseline %.0f) — consider re-baselining\n",
+				name, got.ns, base.NsPerOp)
+		default:
+			fmt.Fprintf(os.Stderr, "benchcheck: ok %s: %.0f ns/op (baseline %.0f)\n", name, got.ns, base.NsPerOp)
 		}
 	}
 	if failed {
