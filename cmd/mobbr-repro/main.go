@@ -33,6 +33,10 @@ func main() {
 	metrics := flag.Bool("metrics", false, "collect metrics and print the last point's snapshot + engine self-metrics")
 	profile := flag.Bool("profile", false, "profile CPU cycles and add the pace% column; prints the last point's table")
 	jobs := flag.Int("j", 0, "experiment points run in parallel (0 = one per CPU); results are identical at any -j")
+	journal := flag.String("journal", "", "checkpoint each finished point to this JSONL file (implies fault-tolerant per-point execution)")
+	resume := flag.Bool("resume", false, "with -journal: skip points already checkpointed; resumed output is byte-identical")
+	retries := flag.Int("retries", 0, "retry attempts for infra-class failures (wall deadline); deterministic failures never retry")
+	keepGoing := flag.Bool("keep-going", false, "contain per-point failures as FAILED rows and run the rest of the grid")
 	cpuProf := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole grid to FILE")
 	memProf := flag.String("memprofile", "", "write a pprof heap profile at exit to FILE")
 	flag.Parse()
@@ -103,15 +107,43 @@ func main() {
 		exps = []repro.Experiment{e}
 	}
 
+	resilient := *journal != "" || *resume || *retries > 0 || *keepGoing
+	if *resume && *journal == "" {
+		fmt.Fprintln(os.Stderr, "-resume needs -journal")
+		os.Exit(1)
+	}
+	if resilient && len(exps) > 1 && *journal != "" {
+		fmt.Fprintln(os.Stderr, "-journal covers one experiment; pick it with -exp")
+		os.Exit(1)
+	}
+
+	failed := 0
 	var lastRows []repro.Row
 	for _, e := range exps {
-		rows, err := repro.RunExperimentPool(e, *dur, *seeds, tel, *jobs)
+		var rows []repro.Row
+		var err error
+		if resilient {
+			rows, err = repro.RunExperimentResilient(e, repro.RunOpts{
+				Dur: *dur, Seeds: *seeds, Telemetry: tel, Workers: *jobs,
+				Journal: *journal, Resume: *resume, Retries: *retries,
+			})
+			failed += repro.FailedRows(rows)
+		} else {
+			rows, err = repro.RunExperimentPool(e, *dur, *seeds, tel, *jobs)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		repro.Print(os.Stdout, e, rows)
 		lastRows = rows
+	}
+	if failed > 0 {
+		if *journal != "" {
+			fmt.Fprintf(os.Stderr, "%d point(s) failed; repro lines are in %s\n", failed, *journal)
+		} else {
+			fmt.Fprintf(os.Stderr, "%d point(s) failed; add -journal to keep their repro lines\n", failed)
+		}
 	}
 	if *exp == "" {
 		runRecovery()
@@ -120,6 +152,10 @@ func main() {
 		writeTelemetry(lastRows[len(lastRows)-1], *traceTo, *metrics, *profile)
 	}
 	fmt.Printf("(wall time %v)\n", time.Since(start).Round(time.Millisecond))
+	if failed > 0 {
+		stopProf() // os.Exit skips the deferred call
+		os.Exit(1)
+	}
 }
 
 // writeTelemetry emits the enabled observability outputs from one row's

@@ -11,15 +11,19 @@
 //	mobbr -exp recovery -seeds 3
 //	mobbr -exp trace -trace-file internal/mobility/testdata/irish4g_sample.csv
 //	mobbr -exp trace -trace-preset train -dur 30s -trace-seed 7
+//	mobbr -run-spec '{"cc":"cubic","conns":1,...}'   # replay a failure's repro line
+//	mobbr -chaos 40 -chaos-seed 1                    # fuzz 40 scenarios, shrink failures
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
+	"mobbr/internal/chaos"
 	"mobbr/internal/core"
 	"mobbr/internal/device"
 	"mobbr/internal/netem"
@@ -59,11 +63,15 @@ func main() {
 		trTick  = flag.Duration("trace-tick", 0, "with -exp trace: synthesis sample spacing (default 100ms)")
 		traceTo = flag.String("trace", "", "write the last run's telemetry events as JSONL to FILE (- = stdout)")
 		metrics = flag.Bool("metrics", false, "collect and print the metrics registry and engine self-metrics")
-	jobs    = flag.Int("j", 0, "with -exp: experiment points run in parallel (0 = one per CPU); results are identical at any -j")
+		jobs    = flag.Int("j", 0, "with -exp: experiment points run in parallel (0 = one per CPU); results are identical at any -j")
 		profile = flag.Bool("profile", false, "print the cycle-attribution profile (core × phase × op)")
 		folded  = flag.String("folded", "", "write the cycle profile as folded stacks (flamegraph input) to FILE")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to FILE")
 		memProf = flag.String("memprofile", "", "write a pprof heap profile at exit to FILE")
+		runSpec = flag.String("run-spec", "", "run this exact spec JSON (as printed in repro lines; @FILE or - reads a file or stdin)")
+		chaosN  = flag.Int("chaos", 0, "fuzz N random-but-valid scenario specs under budgets, shrinking any failure to a minimal reproducer")
+		chaosSd = flag.Int64("chaos-seed", 1, "with -chaos: first generator seed of the (pinned, reproducible) window")
+		chaosCp = flag.String("chaos-corpus", "", "with -chaos: write minimized reproducers to this directory")
 	)
 	flag.Parse()
 
@@ -73,6 +81,21 @@ func main() {
 		os.Exit(1)
 	}
 	defer stopProf()
+
+	if *runSpec != "" {
+		if !runSpecCmd(*runSpec) {
+			stopProf() // os.Exit skips the deferred call
+			os.Exit(1)
+		}
+		return
+	}
+	if *chaosN > 0 {
+		if !runChaos(*chaosN, *chaosSd, *chaosCp) {
+			stopProf()
+			os.Exit(1)
+		}
+		return
+	}
 
 	tel := telemetry.Config{
 		Trace:   *traceTo != "",
@@ -331,6 +354,68 @@ func runExperiment(id string, dur time.Duration, seeds, jobs int, tel telemetry.
 	if len(rows) > 0 {
 		writeTelemetry(rows[len(rows)-1].Sample, traceTo, metrics, profile, folded)
 	}
+}
+
+// runSpecCmd replays one exact spec from a failure's repro line and prints
+// a short report. A false return means the failure reproduced (or the spec
+// didn't parse); the error text carries its own repro line.
+func runSpecCmd(arg string) bool {
+	data := []byte(arg)
+	switch {
+	case arg == "-":
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mobbr: reading spec from stdin: %v\n", err)
+			return false
+		}
+		data = b
+	case strings.HasPrefix(arg, "@"):
+		b, err := os.ReadFile(arg[1:])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mobbr: %v\n", err)
+			return false
+		}
+		data = b
+	}
+	spec, err := core.DecodeSpec(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mobbr: %v\n", err)
+		return false
+	}
+	res, err := core.Run(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mobbr: run failed:\n%v\n", err)
+		return false
+	}
+	r := res.Report
+	fmt.Printf("%s: ok\n", spec)
+	fmt.Printf("  goodput      %8.1f Mbps\n", r.Goodput.Mbit())
+	fmt.Printf("  avg rtt      %8.2f ms\n", float64(r.AvgRTT)/1e6)
+	fmt.Printf("  retransmits  %8d\n", r.Retransmits)
+	fmt.Printf("  cpu util     %8.0f %%\n", r.CPUUtil*100)
+	return true
+}
+
+// runChaos drives the chaos soak: explore a pinned seed window, shrink
+// every deterministic failure, and report the minimized reproducers. A
+// false return means the window produced findings.
+func runChaos(n int, seed int64, corpus string) bool {
+	findings, err := chaos.Explore(chaos.ExploreOpts{N: n, Seed: seed, Corpus: corpus, Log: os.Stderr})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mobbr: %v\n", err)
+		return false
+	}
+	if len(findings) == 0 {
+		fmt.Printf("chaos: %d specs clean (seeds %d..%d)\n", n, seed, seed+int64(n)-1)
+		return true
+	}
+	for _, f := range findings {
+		fmt.Printf("chaos: seed %d: %s\n  repro: %s\n", f.GenSeed, f.Outcome.Signature(), f.Repro)
+		if f.Path != "" {
+			fmt.Printf("  corpus: %s\n", f.Path)
+		}
+	}
+	return false
 }
 
 func fatalf(format string, args ...any) {

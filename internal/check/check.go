@@ -77,6 +77,16 @@ func (e *Error) Error() string {
 	return b.String()
 }
 
+// FirstRule returns the rule name of the first violation — the stable
+// fingerprint of what went wrong first (later violations are usually
+// cascade). The chaos shrinker matches candidate failures on it.
+func (e *Error) FirstRule() string {
+	if len(e.Violations) == 0 {
+		return ""
+	}
+	return e.Violations[0].Rule
+}
+
 // Auditable is what the checker watches — anything that can produce a
 // tcp.Audit bookkeeping snapshot (in practice *tcp.Conn).
 type Auditable interface {

@@ -134,19 +134,62 @@ type Spec struct {
 	// MaxWallClock bounds the real time one run may take (0 = default
 	// 2 minutes; negative = unbounded).
 	MaxWallClock time.Duration
+	// MaxStall bounds how many consecutive engine events may execute
+	// without the virtual clock advancing before the run fails with a
+	// stall error (0 = default 2M). A zero-delay event loop stalls
+	// virtual time while burning wall clock; this watchdog names it
+	// directly instead of waiting for MaxEvents or the wall deadline.
+	MaxStall uint64
+	// Inject arms one deliberate harness-level fault inside the run —
+	// the chaos and resilience layers use it to prove that panics,
+	// stalls, accounting corruption and pool leaks are contained and
+	// reported rather than silently propagated. The zero value injects
+	// nothing.
+	Inject Inject
 	// Telemetry selects the run's observability layers (trace bus,
 	// metrics registry, cycle profiler). The zero value disables all of
 	// them — the hot paths then pay only nil-checks.
 	Telemetry telemetry.Config
+}
 
-	// corruptAt is a test-only hook: at this virtual time connection 0's
-	// inflight counter is deliberately skewed, to prove the checker turns
-	// real accounting corruption into an error instead of a panic.
-	corruptAt time.Duration
-	// leakAt is a test-only hook: at this virtual time one packet is
-	// acquired from the pool and deliberately never released, to prove the
-	// checker turns pool leaks into structured violations.
-	leakAt time.Duration
+// Inject kinds. Each is a deliberate harness fault fired at Inject.At of
+// virtual time.
+const (
+	// InjectPanic panics inside an engine callback — exercises the
+	// runners' per-point panic containment.
+	InjectPanic = "panic"
+	// InjectStall enters a zero-delay self-rescheduling event loop —
+	// virtual time stops advancing and the stall watchdog must trip.
+	InjectStall = "stall"
+	// InjectCorruptInflight skews connection 0's inflight counter — the
+	// invariant checker (Spec.Check) must turn it into a structured
+	// violation.
+	InjectCorruptInflight = "corrupt-inflight"
+	// InjectLeakPacket acquires one pool packet and drops it — the
+	// end-of-run leak audit (Spec.Check) must report it.
+	InjectLeakPacket = "leak-packet"
+)
+
+// Inject describes one deliberate harness-level fault.
+type Inject struct {
+	// Kind selects the fault ("" = none): InjectPanic, InjectStall,
+	// InjectCorruptInflight or InjectLeakPacket.
+	Kind string
+	// At is the virtual time the fault fires.
+	At time.Duration
+}
+
+// Validate rejects unknown kinds and negative times.
+func (in Inject) Validate() error {
+	switch in.Kind {
+	case "", InjectPanic, InjectStall, InjectCorruptInflight, InjectLeakPacket:
+	default:
+		return fmt.Errorf("unknown inject kind %q", in.Kind)
+	}
+	if in.At < 0 {
+		return fmt.Errorf("inject at %v is negative", in.At)
+	}
+	return nil
 }
 
 func (s Spec) withDefaults() Spec {
@@ -167,6 +210,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.MaxWallClock == 0 {
 		s.MaxWallClock = 2 * time.Minute
+	}
+	if s.MaxStall == 0 {
+		s.MaxStall = 2_000_000
 	}
 	return s
 }
@@ -215,6 +261,12 @@ func (s Spec) Validate() error {
 	}
 	if err := s.TC.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
+	}
+	if err := s.Inject.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if s.Inject.Kind == InjectLeakPacket && s.DisablePool {
+		return fmt.Errorf("core: inject %q needs the packet pool (DisablePool is set)", s.Inject.Kind)
 	}
 	if err := s.Faults.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
@@ -266,8 +318,11 @@ type Result struct {
 // structured invariant-violation error instead of returning corrupt data.
 func Run(spec Spec) (*Result, error) {
 	spec = spec.withDefaults()
+	// Every failure path returns a *RunError wrapping the defaulted spec,
+	// so the error text always ends with a one-command repro line.
+	fail := func(err error) error { return &RunError{Spec: spec, Err: err} }
 	if err := spec.Validate(); err != nil {
-		return nil, err
+		return nil, fail(err)
 	}
 	names := strings.Split(spec.CC, ",")
 	factories := make([]cc.Factory, len(names))
@@ -315,7 +370,7 @@ func Run(spec Spec) (*Result, error) {
 	if wall < 0 {
 		wall = 0
 	}
-	eng.SetLimits(sim.Limits{MaxEvents: spec.MaxEvents, WallClock: wall})
+	eng.SetLimits(sim.Limits{MaxEvents: spec.MaxEvents, WallClock: wall, MaxStall: spec.MaxStall})
 	cpu, appCPU := device.NewCPUs(eng, spec.Device, spec.CPU)
 
 	// Observability: each layer is built only when asked for, and a nil
@@ -368,17 +423,17 @@ func Run(spec Spec) (*Result, error) {
 		return nil, fmt.Errorf("core: unknown network %d", spec.Network)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, fail(fmt.Errorf("core: %w", err))
 	}
 	sched := spec.Faults
 	if spec.Mobility != nil {
 		sched = spec.Mobility.Schedule
 		if err := spec.Mobility.Install(eng, path, bus); err != nil {
-			return nil, fmt.Errorf("core: %w", err)
+			return nil, fail(fmt.Errorf("core: %w", err))
 		}
 	} else if !sched.Empty() {
 		if err := sched.InstallObserved(eng, path, bus); err != nil {
-			return nil, fmt.Errorf("core: %w", err)
+			return nil, fail(fmt.Errorf("core: %w", err))
 		}
 	}
 	if prof != nil {
@@ -424,7 +479,7 @@ func Run(spec Spec) (*Result, error) {
 	}
 	sess, err := iperf.New(eng, cpu, path, icfg)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, fail(fmt.Errorf("core: %w", err))
 	}
 	var chk *check.Checker
 	if spec.Check {
@@ -445,11 +500,19 @@ func Run(spec Spec) (*Result, error) {
 		rec.SetBus(bus)
 		rec.Start()
 	}
-	if spec.corruptAt > 0 {
-		eng.Schedule(spec.corruptAt, func() { sess.Conns()[0].CorruptInflightForTest(3) })
-	}
-	if spec.leakAt > 0 && pool != nil {
-		eng.Schedule(spec.leakAt, func() { pool.LeakPacketForTest() })
+	switch spec.Inject.Kind {
+	case InjectPanic:
+		eng.Schedule(spec.Inject.At, func() {
+			panic(fmt.Sprintf("core: injected panic at %v", eng.Now()))
+		})
+	case InjectStall:
+		var spin func()
+		spin = func() { eng.Schedule(0, spin) }
+		eng.Schedule(spec.Inject.At, spin)
+	case InjectCorruptInflight:
+		eng.Schedule(spec.Inject.At, func() { sess.Conns()[0].CorruptInflightForTest(3) })
+	case InjectLeakPacket:
+		eng.Schedule(spec.Inject.At, func() { pool.LeakPacketForTest() })
 	}
 	var coll *telemetry.EngineCollector
 	if tel.Metrics {
@@ -457,7 +520,7 @@ func Run(spec Spec) (*Result, error) {
 	}
 	report := sess.Run()
 	if lerr := eng.LimitErr(); lerr != nil {
-		return nil, fmt.Errorf("core: %s: %w", spec, lerr)
+		return nil, fail(fmt.Errorf("core: %s seed=%d: %w", spec, spec.Seed, lerr))
 	}
 	if chk != nil {
 		chk.CheckNow()
@@ -465,7 +528,7 @@ func Run(spec Spec) (*Result, error) {
 		// anything still outstanding in the pool is a genuine leak.
 		chk.CheckLeaks()
 		if cerr := chk.Err(); cerr != nil {
-			return nil, cerr
+			return nil, fail(cerr)
 		}
 	}
 	return &Result{
@@ -509,7 +572,7 @@ func RunSeeds(spec Spec, n int) (*Aggregate, error) {
 		s.Seed = spec.Seed + int64(i)
 		res, err := Run(s)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("seed %d of %d (base %d): %w", s.Seed, n, spec.Seed, err)
 		}
 		r := res.Report
 		agg.Goodput.Add(float64(r.Goodput))

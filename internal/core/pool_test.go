@@ -23,7 +23,7 @@ func TestCheckerCatchesPoolLeak(t *testing.T) {
 		CC:       "cubic",
 		Duration: time.Second,
 		Check:    true,
-		leakAt:   850 * time.Millisecond,
+		Inject:   Inject{Kind: InjectLeakPacket, At: 850 * time.Millisecond},
 	}
 	_, err := Run(spec)
 	if err == nil {

@@ -118,10 +118,10 @@ func TestFaultedRunDeterministicPerSeed(t *testing.T) {
 // as a structured error — not a panic, not silently wrong data.
 func TestCheckerCatchesCorruption(t *testing.T) {
 	spec := Spec{
-		CC:        "cubic",
-		Duration:  2 * time.Second,
-		Check:     true,
-		corruptAt: 500 * time.Millisecond,
+		CC:       "cubic",
+		Duration: 2 * time.Second,
+		Check:    true,
+		Inject:   Inject{Kind: InjectCorruptInflight, At: 500 * time.Millisecond},
 	}
 	_, err := Run(spec)
 	if err == nil {

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"mobbr/internal/device"
+	"mobbr/internal/faults"
+	"mobbr/internal/mobility"
+	"mobbr/internal/netem"
+	"mobbr/internal/units"
+)
+
+// TestSpecJSONRoundTrip proves every behavior-affecting field survives
+// encode → decode, including the typed fault schedule.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	on := true
+	spec := Spec{
+		Device:          device.Pixel6,
+		CPU:             device.MidEnd,
+		CC:              "bbr,cubic",
+		Conns:           7,
+		Duration:        1300 * time.Millisecond,
+		Warmup:          200 * time.Millisecond,
+		Network:         WiFi,
+		TC:              netem.TC{Rate: 600 * units.Mbps, Delay: 3 * time.Millisecond, Loss: 0.01, QueuePackets: 32, ECNThreshold: 8, ReorderJitter: time.Millisecond},
+		PacingOverride:  &on,
+		Stride:          5,
+		HardwarePacing:  true,
+		FixedPacingRate: 20 * units.Mbps,
+		FixedCwnd:       70,
+		DisableModel:    true,
+		Interval:        100 * time.Millisecond,
+		SndBuf:          512 * units.KB,
+		Seed:            42,
+		Faults: faults.Schedule{Hop: 1, Events: []faults.Event{
+			faults.Blackout{Start: 100 * time.Millisecond, Duration: 50 * time.Millisecond},
+			faults.RateStep{At: 200 * time.Millisecond, Rate: 100 * units.Mbps},
+			faults.RateRamp{Start: 300 * time.Millisecond, Duration: 100 * time.Millisecond, From: 100 * units.Mbps, To: 10 * units.Mbps, Steps: 4},
+			faults.DelaySpike{Start: 500 * time.Millisecond, Duration: 40 * time.Millisecond, Extra: 20 * time.Millisecond},
+			faults.DelayStep{At: 600 * time.Millisecond, Delay: 9 * time.Millisecond},
+			faults.BurstLoss{Start: 700 * time.Millisecond, Duration: 80 * time.Millisecond, GE: netem.GEConfig{PGoodToBad: 0.1, PBadToGood: 0.3, LossBad: 0.9}},
+			faults.Handover{At: 900 * time.Millisecond, Outage: 30 * time.Millisecond, Rate: 300 * units.Mbps, Delay: 2 * time.Millisecond},
+		}},
+		Check:        true,
+		MaxEvents:    123456,
+		MaxWallClock: 30 * time.Second,
+		MaxStall:     1000,
+		Inject:       Inject{Kind: InjectCorruptInflight, At: 400 * time.Millisecond},
+	}
+	data, err := EncodeSpec(spec)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeSpec(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, spec) {
+		t.Fatalf("round trip diverged:\n got  %+v\n want %+v", got, spec)
+	}
+	// Encoding must be deterministic (corpus diffs, journal hashing).
+	again, err := EncodeSpec(got)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if string(again) != string(data) {
+		t.Fatalf("re-encode diverged:\n first  %s\n second %s", data, again)
+	}
+}
+
+// TestSpecJSONMobilityRoundTrip proves a synthesized mobility trace
+// recompiles to the identical schedule on decode.
+func TestSpecJSONMobilityRoundTrip(t *testing.T) {
+	tr, err := mobility.Synthesize(mobility.Driving, 3*time.Second, 100*time.Millisecond, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := mobility.Compile(tr, mobility.CompileOptions{Hop: 0, OtherRTT: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{CC: "bbr", Conns: 1, Network: Cellular, Duration: tr.Duration(), Mobility: c, Seed: 3}
+	data, err := EncodeSpec(spec)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeSpec(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Mobility == nil {
+		t.Fatal("mobility lost in round trip")
+	}
+	if !reflect.DeepEqual(got.Mobility.Schedule, c.Schedule) {
+		t.Fatalf("recompiled schedule diverged")
+	}
+	if !reflect.DeepEqual(got.Mobility.Segments, c.Segments) {
+		t.Fatalf("recompiled segments diverged")
+	}
+}
+
+// TestSpecJSONStrict proves unknown fields and bad tokens fail loudly.
+func TestSpecJSONStrict(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"unknown field", `{"device":"pixel4","cpu":"low","cc":"bbr","conns":1,"network":"ethernet","bogus":1}`, "bogus"},
+		{"bad device", `{"device":"pixel9","cpu":"low","cc":"bbr","conns":1,"network":"ethernet"}`, "device token"},
+		{"bad cpu", `{"device":"pixel4","cpu":"turbo","cc":"bbr","conns":1,"network":"ethernet"}`, "cpu token"},
+		{"bad network", `{"device":"pixel4","cpu":"low","cc":"bbr","conns":1,"network":"6g"}`, "network token"},
+		{"bad event kind", `{"device":"pixel4","cpu":"low","cc":"bbr","conns":1,"network":"ethernet","faults":{"events":[{"kind":"meteor"}]}}`, "event kind"},
+		{"bad duration", `{"device":"pixel4","cpu":"low","cc":"bbr","conns":1,"network":"ethernet","duration":"fast"}`, "duration"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeSpec([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("decode accepted %s", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestReproLineRuns proves the repro line's embedded JSON decodes back to
+// a runnable spec.
+func TestReproLineRuns(t *testing.T) {
+	spec := Spec{CC: "bbr", Conns: 2, Duration: 500 * time.Millisecond, Seed: 9}
+	line := ReproLine(spec)
+	const marker = "-run-spec '"
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("repro line %q has no -run-spec payload", line)
+	}
+	payload := strings.TrimSuffix(line[i+len(marker):], "'")
+	got, err := DecodeSpec([]byte(payload))
+	if err != nil {
+		t.Fatalf("repro payload does not decode: %v", err)
+	}
+	if got.Seed != 9 || got.Conns != 2 || got.CC != "bbr" {
+		t.Fatalf("repro payload diverged: %+v", got)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("repro payload does not validate: %v", err)
+	}
+}

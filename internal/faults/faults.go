@@ -9,6 +9,7 @@ package faults
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"mobbr/internal/netem"
@@ -30,6 +31,13 @@ type Event interface {
 	// their effect persists to the end of the run, so the true interval
 	// is [start, run end).
 	window() (start, end time.Duration, open bool)
+	// conflictKey names the stateful link knob the event holds for its
+	// window ("" = instantaneous, conflict-free). Two events with the
+	// same key must not overlap: both mutate-and-restore the same state,
+	// so interleaving silently double-applies (a Resume un-pauses a
+	// still-active Blackout; a DelaySpike restores another spike's
+	// inflated delay; a BurstLoss end cancels another's GE model).
+	conflictKey() string
 	// String describes the event for logs and error messages.
 	String() string
 }
@@ -62,6 +70,9 @@ func (b Blackout) window() (time.Duration, time.Duration, bool) {
 	return b.Start, b.Start + b.Duration, false
 }
 
+// Blackout and Handover both pause/resume the pipe, so they share a key.
+func (b Blackout) conflictKey() string { return "outage" }
+
 // String implements Event.
 func (b Blackout) String() string {
 	return fmt.Sprintf("blackout@%v for %v", b.Start, b.Duration)
@@ -90,6 +101,8 @@ func (r RateStep) install(eng *sim.Engine, pipe *netem.Pipe) {
 }
 
 func (r RateStep) window() (time.Duration, time.Duration, bool) { return r.At, r.At, false }
+
+func (r RateStep) conflictKey() string { return "" }
 
 // String implements Event.
 func (r RateStep) String() string {
@@ -147,6 +160,8 @@ func (r RateRamp) window() (time.Duration, time.Duration, bool) {
 	return r.Start, r.Start + r.Duration, false
 }
 
+func (r RateRamp) conflictKey() string { return "rate-ramp" }
+
 // String implements Event.
 func (r RateRamp) String() string {
 	return fmt.Sprintf("rate-ramp@%v %v→%v over %v", r.Start, r.From, r.To, r.Duration)
@@ -187,6 +202,8 @@ func (d DelaySpike) window() (time.Duration, time.Duration, bool) {
 	return d.Start, d.Start + d.Duration, false
 }
 
+func (d DelaySpike) conflictKey() string { return "delay-excursion" }
+
 // String implements Event.
 func (d DelaySpike) String() string {
 	return fmt.Sprintf("delay-spike@%v +%v for %v", d.Start, d.Extra, d.Duration)
@@ -225,6 +242,8 @@ func (b BurstLoss) window() (time.Duration, time.Duration, bool) {
 	return b.Start, b.Start + b.Duration, b.Duration == 0
 }
 
+func (b BurstLoss) conflictKey() string { return "burst-loss" }
+
 // String implements Event.
 func (b BurstLoss) String() string {
 	return fmt.Sprintf("burst-loss@%v for %v", b.Start, b.Duration)
@@ -255,6 +274,8 @@ func (d DelayStep) install(eng *sim.Engine, pipe *netem.Pipe) {
 
 func (d DelayStep) window() (time.Duration, time.Duration, bool) { return d.At, d.At, false }
 
+func (d DelayStep) conflictKey() string { return "" }
+
 // String implements Event.
 func (d DelayStep) String() string {
 	return fmt.Sprintf("delay-step@%v to %v", d.At, d.Delay)
@@ -279,6 +300,9 @@ func (h Handover) Validate() error {
 	}
 	if h.Outage < 0 {
 		return fmt.Errorf("faults: handover outage %v is negative", h.Outage)
+	}
+	if h.Outage == 0 {
+		return fmt.Errorf("faults: handover outage must be positive — a zero-outage link change is a RateStep/DelayStep, not a handover")
 	}
 	if h.Rate < 0 {
 		return fmt.Errorf("faults: handover rate %v is negative", h.Rate)
@@ -308,6 +332,9 @@ func (h Handover) window() (time.Duration, time.Duration, bool) {
 	return h.At, h.At + h.Outage, false
 }
 
+// Handover pauses/resumes like Blackout, so they share a key.
+func (h Handover) conflictKey() string { return "outage" }
+
 // String implements Event.
 func (h Handover) String() string {
 	return fmt.Sprintf("handover@%v outage %v → rate %v delay %v", h.At, h.Outage, h.Rate, h.Delay)
@@ -334,6 +361,47 @@ func (s Schedule) Validate() error {
 		}
 		if err := ev.Validate(); err != nil {
 			return fmt.Errorf("event %d (%s): %w", i, ev, err)
+		}
+	}
+	return s.validateOverlaps()
+}
+
+// validateOverlaps rejects two windowed events of the same conflict family
+// holding the link at once. Each such event saves state at onset and
+// restores it at its end, so interleaved windows double-apply: the first
+// Resume un-pauses a link a second Blackout still holds dark, a DelaySpike
+// "restores" another spike's inflated delay, a BurstLoss end disarms a GE
+// model a later window believes is active. Back-to-back windows (one ends
+// exactly where the next starts) are fine — schedule order applies the end
+// before the next start at that instant.
+func (s Schedule) validateOverlaps() error {
+	type win struct {
+		idx        int
+		ev         Event
+		start, end time.Duration
+		open       bool
+	}
+	families := map[string][]win{}
+	for i, ev := range s.Events {
+		key := ev.conflictKey()
+		if key == "" {
+			continue // instantaneous, conflict-free
+		}
+		start, end, open := ev.window()
+		families[key] = append(families[key], win{i, ev, start, end, open})
+	}
+	for _, wins := range families {
+		sort.SliceStable(wins, func(a, b int) bool { return wins[a].start < wins[b].start })
+		for i := 1; i < len(wins); i++ {
+			prev, cur := wins[i-1], wins[i]
+			if prev.open {
+				return fmt.Errorf("faults: event %d (%s) overlaps event %d (%s), which is open-ended (runs to end of run)",
+					cur.idx, cur.ev, prev.idx, prev.ev)
+			}
+			if cur.start < prev.end {
+				return fmt.Errorf("faults: event %d (%s) overlaps event %d (%s): window [%v, %v) is still active at %v",
+					cur.idx, cur.ev, prev.idx, prev.ev, prev.start, prev.end, cur.start)
+			}
 		}
 	}
 	return nil

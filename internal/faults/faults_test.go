@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -443,5 +444,87 @@ func TestDelayStepAndRampStepsValidate(t *testing.T) {
 	ramp.Steps = maxRampSteps
 	if err := ramp.Validate(); err != nil {
 		t.Errorf("ramp at the step cap rejected: %v", err)
+	}
+}
+
+// TestScheduleValidateOverlaps: two windowed events of the same conflict
+// family must not overlap — each saves state at onset and restores at end,
+// so interleaving double-applies. Touching windows (end == next start) and
+// cross-family overlaps are legal; instantaneous events never conflict.
+func TestScheduleValidateOverlaps(t *testing.T) {
+	ge := netem.GEConfig{PGoodToBad: 0.1, PBadToGood: 0.3, LossBad: 0.8}
+	ms := time.Millisecond
+	cases := []struct {
+		name    string
+		events  []Event
+		wantErr string // "" = must validate
+	}{
+		{"overlapping blackouts",
+			[]Event{
+				Blackout{Start: 100 * ms, Duration: 100 * ms},
+				Blackout{Start: 150 * ms, Duration: 100 * ms},
+			}, "overlaps"},
+		{"blackout inside handover outage",
+			[]Event{
+				Handover{At: 100 * ms, Outage: 200 * ms, Rate: units.Gbps},
+				Blackout{Start: 150 * ms, Duration: 50 * ms},
+			}, "overlaps"},
+		{"identical delay spikes",
+			[]Event{
+				DelaySpike{Start: 100 * ms, Duration: 50 * ms, Extra: 10 * ms},
+				DelaySpike{Start: 100 * ms, Duration: 50 * ms, Extra: 20 * ms},
+			}, "overlaps"},
+		{"burst loss after open-ended burst loss",
+			[]Event{
+				BurstLoss{Start: 100 * ms, GE: ge},
+				BurstLoss{Start: 500 * ms, Duration: 100 * ms, GE: ge},
+			}, "open-ended"},
+		{"crossing rate ramps",
+			[]Event{
+				RateRamp{Start: 0, Duration: 200 * ms, From: units.Gbps, To: units.Mbps},
+				RateRamp{Start: 100 * ms, Duration: 200 * ms, From: units.Mbps, To: units.Gbps},
+			}, "overlaps"},
+		{"zero-outage handover",
+			[]Event{Handover{At: 100 * ms, Rate: units.Gbps}},
+			"RateStep"},
+		{"touching blackouts (end == start)",
+			[]Event{
+				Blackout{Start: 100 * ms, Duration: 100 * ms},
+				Blackout{Start: 200 * ms, Duration: 100 * ms},
+			}, ""},
+		{"blackout then handover back-to-back, out of order",
+			[]Event{
+				Handover{At: 200 * ms, Outage: 50 * ms, Rate: units.Gbps},
+				Blackout{Start: 100 * ms, Duration: 100 * ms},
+			}, ""},
+		{"cross-family overlap is legal",
+			[]Event{
+				Blackout{Start: 100 * ms, Duration: 100 * ms},
+				DelaySpike{Start: 120 * ms, Duration: 200 * ms, Extra: 10 * ms},
+				BurstLoss{Start: 50 * ms, Duration: 500 * ms, GE: ge},
+			}, ""},
+		{"rate steps inside a blackout (instantaneous, no conflict)",
+			[]Event{
+				Blackout{Start: 100 * ms, Duration: 100 * ms},
+				RateStep{At: 150 * ms, Rate: units.Mbps},
+				DelayStep{At: 150 * ms, Delay: 10 * ms},
+			}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := (Schedule{Events: tc.events}).Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid schedule rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("conflicting schedule validated")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
 	}
 }

@@ -132,3 +132,44 @@ func TestParallelRecoveryMatchesSerial(t *testing.T) {
 		t.Error("recovery rows differ between -j 1 and -j 8")
 	}
 }
+
+// TestForEachPanicOnLastIndex: a panic in the final index must not deadlock
+// the pool or skip earlier indices (regression guard for off-by-one in the
+// work handout).
+func TestForEachPanicOnLastIndex(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		var hits [7]atomic.Int32
+		err := ForEach(len(hits), workers, func(i int) error {
+			hits[i].Add(1)
+			if i == len(hits)-1 {
+				panic("last index")
+			}
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "point 6 panicked: last index") {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		for i := range hits {
+			if n := hits[i].Load(); n != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+// TestForEachWorkersExceedN: more workers than work items must still run
+// every index exactly once and terminate.
+func TestForEachWorkersExceedN(t *testing.T) {
+	var hits [5]atomic.Int32
+	if err := ForEach(len(hits), 32, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if n := hits[i].Load(); n != 1 {
+			t.Fatalf("index %d ran %d times", i, n)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package repro
 import (
 	"fmt"
 	"io"
+	"runtime/debug"
 	"time"
 
 	"mobbr/internal/core"
@@ -201,8 +202,15 @@ func RunRecoveryPool(e RecoveryExperiment, seeds, workers int) ([]RecoveryRow, e
 		seeds = 1
 	}
 	rows := make([]RecoveryRow, len(e.Points))
-	err := ForEach(len(e.Points), workers, func(i int) error {
+	err := ForEach(len(e.Points), workers, func(i int) (err error) {
 		p := e.Points[i]
+		last := p.Spec
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("repro %s/%s: panic: %v\nrepro: %s\n%s",
+					e.ID, p.Label, r, core.ReproLine(last), debug.Stack())
+			}
+		}()
 		var (
 			pre, spurious, retx stats.Online
 			recMs               stats.Online
@@ -211,6 +219,7 @@ func RunRecoveryPool(e RecoveryExperiment, seeds, workers int) ([]RecoveryRow, e
 		for s := 0; s < seeds; s++ {
 			spec := p.Spec
 			spec.Seed = int64(1 + s)
+			last = spec
 			res, err := core.Run(spec)
 			if err != nil {
 				return fmt.Errorf("repro %s/%s seed %d: %w", e.ID, p.Label, spec.Seed, err)

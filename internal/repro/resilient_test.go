@@ -1,0 +1,216 @@
+package repro
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mobbr/internal/core"
+)
+
+// chaosGrid is a small grid with two healthy points and two that fail in
+// different deterministic ways (a panic inside an engine callback, an
+// invariant violation caught by the checker).
+func chaosGrid() Experiment {
+	ok1 := core.Spec{CC: "cubic", Conns: 1}
+	boom := core.Spec{CC: "cubic", Conns: 1,
+		Inject: core.Inject{Kind: core.InjectPanic, At: 100 * time.Millisecond}}
+	ok2 := core.Spec{CC: "bbr", Conns: 2}
+	corrupt := core.Spec{CC: "cubic", Conns: 1, Check: true,
+		Inject: core.Inject{Kind: core.InjectCorruptInflight, At: 100 * time.Millisecond}}
+	return Experiment{
+		ID:    "chaosgrid",
+		Title: "resilient-runner test grid",
+		Points: []Point{
+			{Label: "healthy cubic", Spec: ok1},
+			{Label: "panics mid-run", Spec: boom},
+			{Label: "healthy bbr", Spec: ok2},
+			{Label: "corrupts inflight", Spec: corrupt},
+		},
+	}
+}
+
+var chaosOpts = RunOpts{
+	Dur:     400 * time.Millisecond,
+	Seeds:   1,
+	Workers: 2,
+	Backoff: time.Millisecond,
+}
+
+// TestResilientContainsFailures: the two broken points must each produce a
+// structured failure row while both healthy points still complete.
+func TestResilientContainsFailures(t *testing.T) {
+	rows, err := RunExperimentResilient(chaosGrid(), chaosOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, i := range []int{0, 2} {
+		if rows[i].Failure != nil {
+			t.Errorf("healthy point %d failed: %+v", i, rows[i].Failure)
+		}
+		if rows[i].GoodputMbps <= 0 {
+			t.Errorf("healthy point %d has no goodput", i)
+		}
+	}
+	p := rows[1].Failure
+	if p == nil || p.Class != core.FailPanic {
+		t.Fatalf("panic point failure = %+v, want class %q", p, core.FailPanic)
+	}
+	if p.Attempts != 1 {
+		t.Errorf("deterministic panic retried: %d attempts", p.Attempts)
+	}
+	if !strings.Contains(p.Repro, "-run-spec") {
+		t.Errorf("panic failure lacks a repro line: %q", p.Repro)
+	}
+	v := rows[3].Failure
+	if v == nil || v.Class != core.FailViolation {
+		t.Fatalf("violation point failure = %+v, want class %q", v, core.FailViolation)
+	}
+	if v.Rule != "inflight/counter" {
+		t.Errorf("violation rule = %q, want inflight/counter", v.Rule)
+	}
+	if !strings.Contains(v.Repro, "-run-spec") || !strings.Contains(v.Msg, "repro:") {
+		t.Errorf("violation failure lacks repro: repro=%q msg=%q", v.Repro, v.Msg)
+	}
+}
+
+// TestResilientResumeByteIdentical is the checkpoint gate: kill a grid
+// after two points, resume from the journal, and the printed table must be
+// byte-identical to an uninterrupted run's — including the failure rows.
+func TestResilientResumeByteIdentical(t *testing.T) {
+	e := chaosGrid()
+	dir := t.TempDir()
+
+	full := chaosOpts
+	full.Journal = filepath.Join(dir, "full.jsonl")
+	fullRows, err := RunExperimentResilient(e, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	Print(&want, e, fullRows)
+
+	// Simulate a mid-grid kill: keep the header and the first two entries.
+	data, err := os.ReadFile(full.Journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 1+len(e.Points) {
+		t.Fatalf("journal has %d lines, want %d", len(lines), 1+len(e.Points))
+	}
+	torn := filepath.Join(dir, "torn.jsonl")
+	if err := os.WriteFile(torn, []byte(strings.Join(lines[:3], "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resume := chaosOpts
+	resume.Journal = torn
+	resume.Resume = true
+	resumedRows, err := RunExperimentResilient(e, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	Print(&got, e, resumedRows)
+	if got.String() != want.String() {
+		t.Fatalf("resumed output diverged:\n--- full\n%s--- resumed\n%s", want.String(), got.String())
+	}
+
+	// Only the two missing points may have been re-run and appended.
+	after, err := os.ReadFile(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(strings.Split(strings.TrimRight(string(after), "\n"), "\n")); n != 1+len(e.Points) {
+		t.Fatalf("resumed journal has %d lines, want %d (completed points must be skipped)", n, 1+len(e.Points))
+	}
+}
+
+// TestResilientResumeTornEntry: a torn final line (writer died mid-entry)
+// re-runs that point instead of failing the resume.
+func TestResilientResumeTornEntry(t *testing.T) {
+	e := chaosGrid()
+	dir := t.TempDir()
+	opts := chaosOpts
+	opts.Journal = filepath.Join(dir, "j.jsonl")
+	if _, err := RunExperimentResilient(e, opts); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(opts.Journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the file mid-way through its final entry.
+	chopped := data[:len(data)-17]
+	if err := os.WriteFile(opts.Journal, chopped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opts.Resume = true
+	rows, err := RunExperimentResilient(e, opts)
+	if err != nil {
+		t.Fatalf("torn journal not tolerated: %v", err)
+	}
+	if len(rows) != len(e.Points) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.GoodputMbps == 0 && r.Failure == nil {
+			t.Errorf("point %d neither measured nor failed after torn resume", i)
+		}
+	}
+}
+
+// TestResilientResumeRejectsMismatchedConfig: resuming under different
+// settings must refuse rather than mix incompatible rows.
+func TestResilientResumeRejectsMismatchedConfig(t *testing.T) {
+	e := chaosGrid()
+	opts := chaosOpts
+	opts.Journal = filepath.Join(t.TempDir(), "j.jsonl")
+	if _, err := RunExperimentResilient(e, opts); err != nil {
+		t.Fatal(err)
+	}
+	bad := opts
+	bad.Resume = true
+	bad.Seeds = 2
+	if _, err := RunExperimentResilient(e, bad); err == nil ||
+		!strings.Contains(err.Error(), "different run configuration") {
+		t.Fatalf("mismatched resume accepted: %v", err)
+	}
+}
+
+// TestResilientRetriesInfraOnly: the wall deadline (machine-dependent) is
+// retried with backoff; deterministic failures are not.
+func TestResilientRetriesInfraOnly(t *testing.T) {
+	slow := core.Spec{CC: "cubic", Conns: 1, MaxWallClock: time.Nanosecond}
+	e := Experiment{ID: "infra", Points: []Point{{Label: "wall-clock", Spec: slow}}}
+	opts := chaosOpts
+	opts.Retries = 2
+	rows, err := RunExperimentResilient(e, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := rows[0].Failure
+	if f == nil || f.Class != core.FailWallClock {
+		t.Fatalf("failure = %+v, want class %q", f, core.FailWallClock)
+	}
+	if f.Attempts != 3 {
+		t.Errorf("infra failure made %d attempts, want 3 (1 + 2 retries)", f.Attempts)
+	}
+
+	det := chaosGrid()
+	det.Points = det.Points[3:4] // the invariant violation
+	rows, err = RunExperimentResilient(det, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := rows[0].Failure; f == nil || f.Attempts != 1 {
+		t.Errorf("deterministic violation retried: %+v", f)
+	}
+}

@@ -3,6 +3,7 @@ package repro
 import (
 	"fmt"
 	"io"
+	"runtime/debug"
 	"time"
 
 	"mobbr/internal/core"
@@ -42,6 +43,14 @@ type Row struct {
 	// Sample is the last seed's full result, carrying the telemetry bus,
 	// profile and engine stats when they were enabled.
 	Sample *core.Result
+	// Profiled records whether the point's runs carried a cycle profile.
+	// Unlike Sample (which is in-memory only), it survives the checkpoint
+	// journal, so a resumed grid renders the same columns.
+	Profiled bool
+	// Failure is the contained failure of this point under the resilient
+	// runner (nil on success): the rest of the grid kept running and this
+	// row records what went wrong and how to reproduce it.
+	Failure *Failure
 }
 
 // RunExperiment executes every point of e over the given duration and seed
@@ -65,42 +74,20 @@ func RunExperimentTelemetry(e Experiment, dur time.Duration, seeds int, tel tele
 // smallest-index point's.
 func RunExperimentPool(e Experiment, dur time.Duration, seeds int, tel telemetry.Config, workers int) ([]Row, error) {
 	rows := make([]Row, len(e.Points))
-	err := ForEach(len(e.Points), workers, func(i int) error {
+	err := ForEach(len(e.Points), workers, func(i int) (err error) {
 		p := e.Points[i]
-		spec := p.Spec
-		spec.Duration = dur
-		spec.Warmup = dur / 5
-		spec.Telemetry = tel
+		spec := pointSpec(p, dur, tel)
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("repro %s/%s: panic: %v\nrepro: %s\n%s",
+					e.ID, p.Label, r, core.ReproLine(spec), debug.Stack())
+			}
+		}()
 		agg, err := core.RunSeeds(spec, seeds)
 		if err != nil {
 			return fmt.Errorf("repro %s/%s: %w", e.ID, p.Label, err)
 		}
-		var jain float64
-		for _, run := range agg.Runs {
-			jain += run.Report.Fairness.Jain
-		}
-		jain /= float64(len(agg.Runs))
-		sample := agg.Runs[len(agg.Runs)-1]
-		var paceShare float64
-		if sample.Profile != nil {
-			paceShare = sample.Profile.Share("net", "pacing_timer")
-		}
-		rows[i] = Row{
-			Point:        p,
-			GoodputMbps:  agg.Goodput.Mean() / 1e6,
-			GoodputCI:    agg.Goodput.CI95() / 1e6,
-			RTTms:        agg.AvgRTT.Mean() / 1e6,
-			MinRTTms:     agg.MinRTT.Mean() / 1e6,
-			Retransmits:  agg.Retransmits.Mean(),
-			SKBKbits:     units.DataSize(agg.AvgSKB.Mean()).Kilobits(),
-			IdleMs:       agg.AvgIdle.Mean() / 1e6,
-			ExpectedMbps: agg.ExpectedTx.Mean() / 1e6,
-			MaxBufKB:     agg.MaxBufOcc.Mean() / 1024,
-			CPUUtil:      agg.CPUUtil.Mean(),
-			Jain:         jain,
-			PacingShare:  paceShare,
-			Sample:       sample,
-		}
+		rows[i] = rowFromAggregate(p, agg)
 		return nil
 	})
 	if err != nil {
@@ -109,13 +96,54 @@ func RunExperimentPool(e Experiment, dur time.Duration, seeds int, tel telemetry
 	return rows, nil
 }
 
+// pointSpec is the one place a grid point's spec is finalized for a run, so
+// the plain and resilient runners (and a journal resume) agree exactly.
+func pointSpec(p Point, dur time.Duration, tel telemetry.Config) core.Spec {
+	spec := p.Spec
+	spec.Duration = dur
+	spec.Warmup = dur / 5
+	spec.Telemetry = tel
+	return spec
+}
+
+// rowFromAggregate folds one point's multi-seed aggregate into a Row.
+func rowFromAggregate(p Point, agg *core.Aggregate) Row {
+	var jain float64
+	for _, run := range agg.Runs {
+		jain += run.Report.Fairness.Jain
+	}
+	jain /= float64(len(agg.Runs))
+	sample := agg.Runs[len(agg.Runs)-1]
+	var paceShare float64
+	if sample.Profile != nil {
+		paceShare = sample.Profile.Share("net", "pacing_timer")
+	}
+	return Row{
+		Point:        p,
+		GoodputMbps:  agg.Goodput.Mean() / 1e6,
+		GoodputCI:    agg.Goodput.CI95() / 1e6,
+		RTTms:        agg.AvgRTT.Mean() / 1e6,
+		MinRTTms:     agg.MinRTT.Mean() / 1e6,
+		Retransmits:  agg.Retransmits.Mean(),
+		SKBKbits:     units.DataSize(agg.AvgSKB.Mean()).Kilobits(),
+		IdleMs:       agg.AvgIdle.Mean() / 1e6,
+		ExpectedMbps: agg.ExpectedTx.Mean() / 1e6,
+		MaxBufKB:     agg.MaxBufOcc.Mean() / 1024,
+		CPUUtil:      agg.CPUUtil.Mean(),
+		Jain:         jain,
+		PacingShare:  paceShare,
+		Sample:       sample,
+		Profiled:     sample.Profile != nil,
+	}
+}
+
 // Print writes rows as an aligned table to w, including the paper's values
 // where the text states them. A pace% column (pacing-timer share of
 // netstack cycles) appears when any row carries a cycle profile.
 func Print(w io.Writer, e Experiment, rows []Row) {
 	profiled := false
 	for _, r := range rows {
-		if r.Sample != nil && r.Sample.Profile != nil {
+		if r.Profiled || (r.Sample != nil && r.Sample.Profile != nil) {
 			profiled = true
 			break
 		}
@@ -128,6 +156,19 @@ func Print(w io.Writer, e Experiment, rows []Row) {
 	}
 	fmt.Fprintln(w)
 	for _, r := range rows {
+		if r.Failure != nil {
+			// Failed points render deterministically (class + rule, no
+			// stacks or timings), so a resumed grid prints byte-identically.
+			fmt.Fprintf(w, "%-36s FAILED %s", r.Point.Label, r.Failure.Class)
+			if r.Failure.Rule != "" {
+				fmt.Fprintf(w, " (%s)", r.Failure.Rule)
+			}
+			if r.Failure.Attempts > 1 {
+				fmt.Fprintf(w, " after %d attempts", r.Failure.Attempts)
+			}
+			fmt.Fprintln(w)
+			continue
+		}
 		paper := "-"
 		if r.Point.PaperMbps > 0 {
 			paper = fmt.Sprintf("%.0f", r.Point.PaperMbps)

@@ -57,6 +57,10 @@ type PoolStats struct {
 	// not yet released. At run end, after the harness reclaims the
 	// network's hold buffers, both must be zero.
 	OutstandingPackets, OutstandingAcks int
+	// MaxOutstandingPackets / MaxOutstandingAcks are the high-water marks
+	// of the outstanding counts over the run — the run's peak live-object
+	// footprint, which the chaos harness budgets against.
+	MaxOutstandingPackets, MaxOutstandingAcks int
 	// Violations is how many lifecycle violations were recorded (capped).
 	Violations int
 }
@@ -94,6 +98,9 @@ func (l *Pool) GetPacket() *Packet {
 	}
 	l.stats.PacketGets++
 	l.stats.OutstandingPackets++
+	if l.stats.OutstandingPackets > l.stats.MaxOutstandingPackets {
+		l.stats.MaxOutstandingPackets = l.stats.OutstandingPackets
+	}
 	p := l.freePkt
 	if p == nil {
 		l.stats.PacketNews++
@@ -142,6 +149,9 @@ func (l *Pool) GetAck() *Ack {
 	}
 	l.stats.AckGets++
 	l.stats.OutstandingAcks++
+	if l.stats.OutstandingAcks > l.stats.MaxOutstandingAcks {
+		l.stats.MaxOutstandingAcks = l.stats.OutstandingAcks
+	}
 	a := l.freeAck
 	if a == nil {
 		l.stats.AckNews++

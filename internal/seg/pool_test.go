@@ -228,3 +228,32 @@ func TestPoolSteadyStateDoesNotGrow(t *testing.T) {
 		t.Fatalf("unexpected violations: %v", p.Violations())
 	}
 }
+
+func TestPoolHighWater(t *testing.T) {
+	p := NewPool()
+	var pkts []*Packet
+	for i := 0; i < 5; i++ {
+		pkts = append(pkts, p.GetPacket())
+	}
+	for _, pk := range pkts {
+		p.PutPacket(pk)
+	}
+	// Re-acquire fewer than the peak: high water must not move.
+	a := p.GetPacket()
+	b := p.GetAck()
+	st := p.Stats()
+	if st.MaxOutstandingPackets != 5 {
+		t.Errorf("MaxOutstandingPackets = %d, want 5", st.MaxOutstandingPackets)
+	}
+	if st.OutstandingPackets != 1 {
+		t.Errorf("OutstandingPackets = %d, want 1", st.OutstandingPackets)
+	}
+	if st.MaxOutstandingAcks != 1 {
+		t.Errorf("MaxOutstandingAcks = %d, want 1", st.MaxOutstandingAcks)
+	}
+	p.PutPacket(a)
+	p.PutAck(b)
+	if st := p.Stats(); st.OutstandingPackets != 0 || st.OutstandingAcks != 0 {
+		t.Errorf("outstanding after release = %d/%d", st.OutstandingPackets, st.OutstandingAcks)
+	}
+}

@@ -37,11 +37,11 @@ type Event func()
 
 // Item location states.
 const (
-	wFree uint8 = iota // on the freelist
-	wHeap              // resident in the 4-ary heap
-	wWheel0            // resident in wheel level 0
-	wWheel1            // resident in wheel level 1
-	wFiring            // popped, callback currently executing
+	wFree   uint8 = iota // on the freelist
+	wHeap                // resident in the 4-ary heap
+	wWheel0              // resident in wheel level 0
+	wWheel1              // resident in wheel level 1
+	wFiring              // popped, callback currently executing
 )
 
 // eventItem is one arena slot. Items are recycled through a freelist; gen
@@ -252,13 +252,20 @@ type Limits struct {
 	MaxEvents uint64
 	// WallClock stops the run after this much real (host) time.
 	WallClock time.Duration
+	// MaxStall stops the run after this many consecutive events executed
+	// without the virtual clock advancing — a zero-delay self-rescheduling
+	// loop churns events forever at one instant, which MaxEvents alone
+	// only catches after the full (much larger) event budget. Legitimate
+	// same-instant bursts (ACK batches, queue drains) are orders of
+	// magnitude smaller than any useful setting.
+	MaxStall uint64
 }
 
 // LimitError reports that a run hit its event or wall-clock budget. It
 // carries enough context to diagnose the runaway: the virtual time the
 // engine reached, the time of the last-scheduled event, and the queue depth.
 type LimitError struct {
-	// Reason is "max-events" or "wall-clock".
+	// Reason is "max-events", "wall-clock" or "stall".
 	Reason string
 	// Processed is the number of events executed when the budget tripped.
 	Processed uint64
@@ -271,6 +278,9 @@ type LimitError struct {
 	Pending int
 	// Elapsed is the real time spent (set for wall-clock trips).
 	Elapsed time.Duration
+	// StallEvents is how many consecutive events ran at one virtual
+	// instant (set for stall trips).
+	StallEvents uint64
 }
 
 // Error implements error.
@@ -278,6 +288,10 @@ func (e *LimitError) Error() string {
 	if e.Reason == "wall-clock" {
 		return fmt.Sprintf("sim: wall-clock budget exceeded after %v (virtual time %v, %d events, last event scheduled at %v, %d pending)",
 			e.Elapsed, e.Now, e.Processed, e.LastScheduled, e.Pending)
+	}
+	if e.Reason == "stall" {
+		return fmt.Sprintf("sim: virtual time stalled: %d consecutive events at %v without the clock advancing (%d events total, %d pending)",
+			e.StallEvents, e.Now, e.Processed, e.Pending)
 	}
 	return fmt.Sprintf("sim: event budget exceeded after %d events (virtual time %v, last event scheduled at %v, %d pending)",
 		e.Processed, e.Now, e.LastScheduled, e.Pending)
@@ -313,6 +327,7 @@ type Engine struct {
 	wallStart     time.Time
 	lastScheduled time.Duration
 	limitErr      *LimitError
+	stallRun      uint64
 }
 
 // New returns an Engine whose random source is seeded with seed. The source
@@ -331,6 +346,7 @@ func (e *Engine) SetLimits(l Limits) {
 	e.limits = l
 	e.wallStart = time.Now()
 	e.limitErr = nil
+	e.stallRun = 0
 }
 
 // LimitErr returns the budget violation that stopped the run, or nil. Once
@@ -355,6 +371,17 @@ func (e *Engine) overBudget() bool {
 			Now:           e.now,
 			LastScheduled: e.lastScheduled,
 			Pending:       e.Pending(),
+		}
+		return true
+	}
+	if e.limits.MaxStall > 0 && e.stallRun >= e.limits.MaxStall {
+		e.limitErr = &LimitError{
+			Reason:        "stall",
+			Processed:     e.processed,
+			Now:           e.now,
+			LastScheduled: e.lastScheduled,
+			Pending:       e.Pending(),
+			StallEvents:   e.stallRun,
 		}
 		return true
 	}
@@ -667,6 +694,11 @@ func (e *Engine) Step() bool {
 	it := &e.items[idx]
 	if it.at < e.now {
 		panic(fmt.Sprintf("sim: event scheduled at %v before now %v", it.at, e.now))
+	}
+	if it.at == e.now {
+		e.stallRun++
+	} else {
+		e.stallRun = 0
 	}
 	e.now = it.at
 	it.where = wFiring

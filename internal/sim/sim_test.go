@@ -233,3 +233,47 @@ func TestMaxPendingHighWater(t *testing.T) {
 		t.Errorf("MaxPending = %d, want 10", e.MaxPending())
 	}
 }
+
+func TestStallWatchdog(t *testing.T) {
+	e := New(1)
+	e.SetLimits(Limits{MaxStall: 1000})
+	// A zero-delay self-rescheduling loop never advances the clock; the
+	// stall watchdog must trip long before any event budget would.
+	var spin func()
+	spin = func() { e.Schedule(0, spin) }
+	e.Schedule(time.Millisecond, spin)
+	e.Run(time.Second)
+	err := e.LimitErr()
+	if err == nil {
+		t.Fatal("stalled run returned no limit error")
+	}
+	le, ok := err.(*LimitError)
+	if !ok {
+		t.Fatalf("error is %T, want *LimitError: %v", err, err)
+	}
+	if le.Reason != "stall" {
+		t.Fatalf("reason = %q, want stall: %v", le.Reason, le)
+	}
+	if le.Now != time.Millisecond {
+		t.Errorf("stall detected at %v, want 1ms", le.Now)
+	}
+	if le.StallEvents < 1000 {
+		t.Errorf("StallEvents = %d, want >= 1000", le.StallEvents)
+	}
+}
+
+func TestStallWatchdogAllowsSameInstantBursts(t *testing.T) {
+	e := New(1)
+	e.SetLimits(Limits{MaxStall: 100})
+	// 50 events per instant across many instants: the counter resets each
+	// time the clock advances, so no trip.
+	for ms := 1; ms <= 20; ms++ {
+		for i := 0; i < 50; i++ {
+			e.Schedule(time.Duration(ms)*time.Millisecond, func() {})
+		}
+	}
+	e.Run(time.Second)
+	if err := e.LimitErr(); err != nil {
+		t.Fatalf("bursty but advancing run tripped the watchdog: %v", err)
+	}
+}

@@ -17,7 +17,9 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
+	"text/tabwriter"
 )
 
 // Baseline is one benchmark's checked-in reference numbers. NsPerOp is
@@ -95,7 +97,13 @@ func main() {
 	}
 
 	failed := false
-	for name, base := range baselines {
+	names := make([]string, 0, len(baselines))
+	for name := range baselines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baselines[name]
 		got, ok := measured[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "benchcheck: FAIL %s: benchmark missing from input\n", name)
@@ -135,8 +143,47 @@ func main() {
 		}
 	}
 	if failed {
+		printDeltaTable(os.Stderr, names, baselines, measured)
 		os.Exit(1)
 	}
+}
+
+// printDeltaTable renders every gated benchmark's baseline → measured
+// movement in one place, so a failing CI run shows the whole picture (what
+// regressed, by how much, and what stayed flat) without scrolling through
+// interleaved pass/fail lines.
+func printDeltaTable(w *os.File, names []string, baselines map[string]Baseline, measured map[string]measurement) {
+	fmt.Fprintln(w, "\nbenchcheck: baseline → measured deltas:")
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "  benchmark\tallocs/op (old → new)\tns/op (old → new)")
+	pct := func(old, new float64) string {
+		if old <= 0 {
+			return ""
+		}
+		return fmt.Sprintf(" (%+.1f%%)", (new-old)/old*100)
+	}
+	for _, name := range names {
+		base := baselines[name]
+		got, ok := measured[name]
+		if !ok {
+			fmt.Fprintf(tw, "  %s\tmissing from input\t\n", name)
+			continue
+		}
+		allocs := "-"
+		if got.hasAlloc {
+			allocs = fmt.Sprintf("%d → %d%s", base.AllocsPerOp, got.allocs,
+				pct(float64(base.AllocsPerOp), float64(got.allocs)))
+		}
+		ns := "not gated"
+		if base.NsPerOp > 0 {
+			ns = "-"
+			if got.hasNs {
+				ns = fmt.Sprintf("%.0f → %.0f%s", base.NsPerOp, got.ns, pct(base.NsPerOp, got.ns))
+			}
+		}
+		fmt.Fprintf(tw, "  %s\t%s\t%s\n", name, allocs, ns)
+	}
+	tw.Flush()
 }
 
 func fatalf(format string, args ...any) {
