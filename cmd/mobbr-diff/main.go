@@ -1,0 +1,74 @@
+// Command mobbr-diff compares two run archives written by
+// mobbr-repro -archive and reports per-cell regressions with noise-aware
+// gating: a delta counts only when it clears both the combined 95%
+// confidence interval of the two runs' means and a relative threshold, so
+// seed wobble does not fail a build but a real pacing regression does.
+//
+// Usage:
+//
+//	mobbr-repro -exp all -archive runA
+//	... change something ...
+//	mobbr-repro -exp all -archive runB
+//	mobbr-diff runA runB            # exit 1 when any cell regressed
+//	mobbr-diff -all runA runB       # print every aligned cell
+//	mobbr-diff -rel 0.10 runA runB  # require a 10% move
+//
+// Diffing an archive against itself prints nothing and exits 0 — the CI
+// self-check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobbr/internal/obs"
+)
+
+func main() {
+	rel := flag.Float64("rel", 0.05, "relative-change floor: deltas below this fraction of the baseline never gate")
+	retxAbs := flag.Float64("retx-abs", 50, "absolute retransmission floor: retx deltas below this never gate")
+	all := flag.Bool("all", false, "print every aligned cell, not only significant ones")
+	quiet := flag.Bool("q", false, "suppress the summary line; table and exit code only")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: mobbr-diff [flags] <baseline-archive> <candidate-archive>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	a, err := obs.LoadArchive(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	b, err := obs.LoadArchive(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	deltas, sum, err := obs.Diff(a, b, obs.DiffOpts{Rel: *rel, RetxAbs: *retxAbs, All: *all})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := obs.WriteDeltas(os.Stdout, deltas); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if !*quiet && (len(deltas) > 0 || sum.Unmatched > 0 || len(sum.SkippedExps) > 0) {
+		fmt.Printf("mobbr-diff: %d experiment(s), %d cell(s): %d regressed, %d improved",
+			sum.Experiments, sum.Cells, sum.Regressed, sum.Improved)
+		if sum.Unmatched > 0 {
+			fmt.Printf(", %d point(s) unmatched", sum.Unmatched)
+		}
+		if len(sum.SkippedExps) > 0 {
+			fmt.Printf(", skipped %v (present in one archive only)", sum.SkippedExps)
+		}
+		fmt.Println()
+	}
+	if sum.Regressed > 0 {
+		os.Exit(1)
+	}
+}

@@ -6,6 +6,8 @@
 //	mobbr-repro                 # run everything
 //	mobbr-repro -exp fig8       # run one experiment
 //	mobbr-repro -dur 10s -seeds 5
+//	mobbr-repro -exp all -archive runA/   # archive every grid point
+//	mobbr-repro -rollup         # per-cell (device×cpu×cc×network) view
 //	mobbr-repro -list
 package main
 
@@ -15,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	"mobbr/internal/obs"
 	"mobbr/internal/profiling"
 	"mobbr/internal/repro"
 	"mobbr/internal/telemetry"
@@ -39,7 +42,14 @@ func main() {
 	keepGoing := flag.Bool("keep-going", false, "contain per-point failures as FAILED rows and run the rest of the grid")
 	cpuProf := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole grid to FILE")
 	memProf := flag.String("memprofile", "", "write a pprof heap profile at exit to FILE")
+	archiveDir := flag.String("archive", "", "write a run archive (manifest + per-point artifacts) under DIR/<exp-id>/; compare archives with mobbr-diff")
+	rollup := flag.Bool("rollup", false, "print the per-cell (device×cpu×cc×network) rollup after each experiment table")
+	progress := flag.Bool("progress", false, "live stderr progress: per-worker current point, done/failed, events/sec, ETA")
+	forceStride := flag.Float64("force-stride", 0, "override every point's pacing stride (deliberate perturbation for mobbr-diff demos)")
 	flag.Parse()
+	if *exp == "all" {
+		*exp = "" // alias: -exp all ≡ run everything
+	}
 
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -50,7 +60,31 @@ func main() {
 
 	tel := telemetry.Config{Trace: *traceTo != "", Metrics: *metrics, Profile: *profile}
 
+	var archFlags map[string]string
+	if *forceStride > 0 {
+		archFlags = map[string]string{"force-stride": fmt.Sprint(*forceStride)}
+	}
+	archOpts := func(wall time.Duration) repro.ArchiveOpts {
+		return repro.ArchiveOpts{
+			Dir: *archiveDir, Dur: *dur, Seeds: *seeds,
+			Telemetry: tel, Flags: archFlags, Wall: wall,
+		}
+	}
+	// printRollup renders the per-cell view of one assembled run; fatal is
+	// reserved for archive I/O, not aggregation.
+	printRollup := func(run *obs.Run) {
+		if err := obs.WriteRollup(os.Stdout, run, obs.Rollup(run)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
 	rec := repro.Recovery()
+	if *forceStride > 0 {
+		for i := range rec.Points {
+			rec.Points[i].Spec.Stride = *forceStride
+		}
+	}
 	if *list {
 		for _, e := range repro.All() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
@@ -63,12 +97,27 @@ func main() {
 	// The recovery experiment has its own runner: its metric comes from the
 	// interval series and its duration is fixed by the fault timeline.
 	runRecovery := func() {
+		recStart := time.Now()
 		rows, err := repro.RunRecoveryPool(rec, *seeds, *jobs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		repro.PrintRecovery(os.Stdout, rec, rows)
+		if *archiveDir != "" {
+			if err := repro.ArchiveRecovery(rec, rows, archOpts(time.Since(recStart))); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *rollup {
+			run, err := repro.BuildRecoveryRun(rec, rows, archOpts(0))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			printRollup(run)
+		}
 	}
 
 	start := time.Now()
@@ -85,12 +134,31 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+			if *forceStride > 0 {
+				for i := range e.Points {
+					e.Points[i].Spec.Stride = *forceStride
+				}
+			}
 			rows, err := repro.RunTracePool(e, *seeds, *jobs)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 			repro.PrintTrace(os.Stdout, e, rows)
+			if *archiveDir != "" {
+				if err := repro.ArchiveTrace(e, rows, archOpts(time.Since(start))); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+			if *rollup {
+				run, err := repro.BuildTraceRun(e, rows, archOpts(0))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				printRollup(run)
+			}
 			fmt.Printf("(wall time %v)\n", time.Since(start).Round(time.Millisecond))
 			return
 		}
@@ -120,22 +188,52 @@ func main() {
 	failed := 0
 	var lastRows []repro.Row
 	for _, e := range exps {
+		if *forceStride > 0 {
+			for i := range e.Points {
+				e.Points[i].Spec.Stride = *forceStride
+			}
+		}
+		expStart := time.Now()
+		var prog *obs.Progress
+		var observer repro.Observer
+		if *progress {
+			prog = obs.NewProgress(os.Stderr, 0)
+			observer = prog
+		}
 		var rows []repro.Row
 		var err error
 		if resilient {
 			rows, err = repro.RunExperimentResilient(e, repro.RunOpts{
 				Dur: *dur, Seeds: *seeds, Telemetry: tel, Workers: *jobs,
 				Journal: *journal, Resume: *resume, Retries: *retries,
+				Progress: observer,
 			})
 			failed += repro.FailedRows(rows)
 		} else {
-			rows, err = repro.RunExperimentPool(e, *dur, *seeds, tel, *jobs)
+			rows, err = repro.RunExperimentPoolObserved(e, *dur, *seeds, tel, *jobs, observer)
+		}
+		if prog != nil {
+			prog.Stop()
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		repro.Print(os.Stdout, e, rows)
+		if *archiveDir != "" {
+			if err := repro.ArchiveExperiment(e, rows, archOpts(time.Since(expStart))); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *rollup {
+			run, err := repro.BuildExperimentRun(e, rows, archOpts(0))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			printRollup(run)
+		}
 		lastRows = rows
 	}
 	if failed > 0 {

@@ -27,6 +27,7 @@ import (
 	"mobbr/internal/core"
 	"mobbr/internal/device"
 	"mobbr/internal/netem"
+	"mobbr/internal/obs"
 	"mobbr/internal/profiling"
 	"mobbr/internal/repro"
 	"mobbr/internal/telemetry"
@@ -35,43 +36,44 @@ import (
 
 func main() {
 	var (
-		ccName  = flag.String("cc", "bbr", "congestion control: cubic, bbr, bbr2")
-		devName = flag.String("device", "pixel4", "phone: pixel4, pixel6")
-		cfgName = flag.String("config", "low", "CPU config: low, mid, high, default")
-		netName = flag.String("network", "ethernet", "network: ethernet, wifi, cellular")
-		conns   = flag.Int("conns", 1, "parallel connections (iperf3 -P)")
-		dur     = flag.Duration("dur", 5*time.Second, "transfer duration (iperf3 -t)")
-		seeds   = flag.Int("seeds", 1, "seeds to average over")
-		stride  = flag.Float64("stride", 1, "pacing stride (§6.2)")
-		pacingS = flag.String("pacing", "auto", "pacing: auto, on, off")
-		fixRate = flag.String("fixed-rate", "", "pin per-connection pacing rate, e.g. 140Mbps")
-		fixCwnd = flag.Int("fixed-cwnd", 0, "pin cwnd in packets (0 = off)")
-		noModel = flag.Bool("no-model", false, "disable the CC's per-ACK model (§5.1.1)")
-		hwPace  = flag.Bool("hw-pacing", false, "offload pacing timers to the NIC (§7.1.4)")
-		ival    = flag.Duration("interval", 0, "print iperf3-style interval reports (e.g. 1s)")
-		sndbuf  = flag.String("sndbuf", "", "per-socket send buffer, e.g. 1MB (default 256KB)")
-		tcRate  = flag.String("tc-rate", "", "router rate cap, e.g. 600Mbps")
-		tcDelay = flag.Duration("tc-delay", 0, "router added delay")
-		tcLoss  = flag.Float64("tc-loss", 0, "router random loss fraction")
-		tcQueue = flag.Int("tc-queue", 0, "router queue depth in packets")
-		tcECN   = flag.Int("tc-ecn", 0, "router ECN marking threshold in packets (0 = off)")
-		seed    = flag.Int64("seed", 1, "base RNG seed")
-		expName = flag.String("exp", "", "run a named repro experiment instead (e.g. recovery, trace; see mobbr-repro -list)")
-		trFile  = flag.String("trace-file", "", "with -exp trace: replay this dataset trace (.csv, .jsonl)")
-		trPre   = flag.String("trace-preset", "driving", "with -exp trace: synthesize this commute when no -trace-file (stationary, walking, driving, train)")
-		trSeed  = flag.Int64("trace-seed", 1, "with -exp trace: synthesis seed")
-		trTick  = flag.Duration("trace-tick", 0, "with -exp trace: synthesis sample spacing (default 100ms)")
-		traceTo = flag.String("trace", "", "write the last run's telemetry events as JSONL to FILE (- = stdout)")
-		metrics = flag.Bool("metrics", false, "collect and print the metrics registry and engine self-metrics")
-		jobs    = flag.Int("j", 0, "with -exp: experiment points run in parallel (0 = one per CPU); results are identical at any -j")
-		profile = flag.Bool("profile", false, "print the cycle-attribution profile (core × phase × op)")
-		folded  = flag.String("folded", "", "write the cycle profile as folded stacks (flamegraph input) to FILE")
-		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to FILE")
-		memProf = flag.String("memprofile", "", "write a pprof heap profile at exit to FILE")
-		runSpec = flag.String("run-spec", "", "run this exact spec JSON (as printed in repro lines; @FILE or - reads a file or stdin)")
-		chaosN  = flag.Int("chaos", 0, "fuzz N random-but-valid scenario specs under budgets, shrinking any failure to a minimal reproducer")
-		chaosSd = flag.Int64("chaos-seed", 1, "with -chaos: first generator seed of the (pinned, reproducible) window")
-		chaosCp = flag.String("chaos-corpus", "", "with -chaos: write minimized reproducers to this directory")
+		ccName   = flag.String("cc", "bbr", "congestion control: cubic, bbr, bbr2")
+		devName  = flag.String("device", "pixel4", "phone: pixel4, pixel6")
+		cfgName  = flag.String("config", "low", "CPU config: low, mid, high, default")
+		netName  = flag.String("network", "ethernet", "network: ethernet, wifi, cellular")
+		conns    = flag.Int("conns", 1, "parallel connections (iperf3 -P)")
+		dur      = flag.Duration("dur", 5*time.Second, "transfer duration (iperf3 -t)")
+		seeds    = flag.Int("seeds", 1, "seeds to average over")
+		stride   = flag.Float64("stride", 1, "pacing stride (§6.2)")
+		pacingS  = flag.String("pacing", "auto", "pacing: auto, on, off")
+		fixRate  = flag.String("fixed-rate", "", "pin per-connection pacing rate, e.g. 140Mbps")
+		fixCwnd  = flag.Int("fixed-cwnd", 0, "pin cwnd in packets (0 = off)")
+		noModel  = flag.Bool("no-model", false, "disable the CC's per-ACK model (§5.1.1)")
+		hwPace   = flag.Bool("hw-pacing", false, "offload pacing timers to the NIC (§7.1.4)")
+		ival     = flag.Duration("interval", 0, "print iperf3-style interval reports (e.g. 1s)")
+		sndbuf   = flag.String("sndbuf", "", "per-socket send buffer, e.g. 1MB (default 256KB)")
+		tcRate   = flag.String("tc-rate", "", "router rate cap, e.g. 600Mbps")
+		tcDelay  = flag.Duration("tc-delay", 0, "router added delay")
+		tcLoss   = flag.Float64("tc-loss", 0, "router random loss fraction")
+		tcQueue  = flag.Int("tc-queue", 0, "router queue depth in packets")
+		tcECN    = flag.Int("tc-ecn", 0, "router ECN marking threshold in packets (0 = off)")
+		seed     = flag.Int64("seed", 1, "base RNG seed")
+		expName  = flag.String("exp", "", "run a named repro experiment instead (e.g. recovery, trace; see mobbr-repro -list)")
+		trFile   = flag.String("trace-file", "", "with -exp trace: replay this dataset trace (.csv, .jsonl)")
+		trPre    = flag.String("trace-preset", "driving", "with -exp trace: synthesize this commute when no -trace-file (stationary, walking, driving, train)")
+		trSeed   = flag.Int64("trace-seed", 1, "with -exp trace: synthesis seed")
+		trTick   = flag.Duration("trace-tick", 0, "with -exp trace: synthesis sample spacing (default 100ms)")
+		traceTo  = flag.String("trace", "", "write the last run's telemetry events as JSONL to FILE (- = stdout)")
+		metrics  = flag.Bool("metrics", false, "collect and print the metrics registry and engine self-metrics")
+		jobs     = flag.Int("j", 0, "with -exp: experiment points run in parallel (0 = one per CPU); results are identical at any -j")
+		profile  = flag.Bool("profile", false, "print the cycle-attribution profile (core × phase × op)")
+		folded   = flag.String("folded", "", "write the cycle profile as folded stacks (flamegraph input) to FILE")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to FILE")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to FILE")
+		showProg = flag.Bool("progress", false, "with -exp: live stderr progress (per-worker point, done count, events/sec, ETA)")
+		runSpec  = flag.String("run-spec", "", "run this exact spec JSON (as printed in repro lines; @FILE or - reads a file or stdin)")
+		chaosN   = flag.Int("chaos", 0, "fuzz N random-but-valid scenario specs under budgets, shrinking any failure to a minimal reproducer")
+		chaosSd  = flag.Int64("chaos-seed", 1, "with -chaos: first generator seed of the (pinned, reproducible) window")
+		chaosCp  = flag.String("chaos-corpus", "", "with -chaos: write minimized reproducers to this directory")
 	)
 	flag.Parse()
 
@@ -108,7 +110,7 @@ func main() {
 			runTraceExperiment(*trFile, *trPre, *dur, *trTick, *trSeed, *seeds, *jobs)
 			return
 		}
-		runExperiment(*expName, *dur, *seeds, *jobs, tel, *traceTo, *metrics, *profile, *folded)
+		runExperiment(*expName, *dur, *seeds, *jobs, tel, *traceTo, *metrics, *profile, *folded, *showProg)
 		return
 	}
 
@@ -333,7 +335,7 @@ func runTraceExperiment(file, preset string, dur, tick time.Duration, traceSeed 
 }
 
 // runExperiment runs one repro experiment by id, like mobbr-repro -exp.
-func runExperiment(id string, dur time.Duration, seeds, jobs int, tel telemetry.Config, traceTo string, metrics, profile bool, folded string) {
+func runExperiment(id string, dur time.Duration, seeds, jobs int, tel telemetry.Config, traceTo string, metrics, profile bool, folded string, showProg bool) {
 	if rec := repro.Recovery(); strings.EqualFold(id, rec.ID) {
 		rows, err := repro.RunRecoveryPool(rec, seeds, jobs)
 		if err != nil {
@@ -346,7 +348,16 @@ func runExperiment(id string, dur time.Duration, seeds, jobs int, tel telemetry.
 	if err != nil {
 		fatalf("%v", err)
 	}
-	rows, err := repro.RunExperimentPool(e, dur, seeds, tel, jobs)
+	var observer repro.Observer
+	var prog *obs.Progress
+	if showProg {
+		prog = obs.NewProgress(os.Stderr, 0)
+		observer = prog
+	}
+	rows, err := repro.RunExperimentPoolObserved(e, dur, seeds, tel, jobs, observer)
+	if prog != nil {
+		prog.Stop()
+	}
 	if err != nil {
 		fatalf("%v", err)
 	}

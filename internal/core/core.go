@@ -311,6 +311,11 @@ type Result struct {
 	// set: events processed, events/sec of wall clock, heap allocations
 	// per simulated second.
 	Engine *telemetry.EngineStats
+	// Processed is the number of simulator events this run executed. It is
+	// deterministic per seed (unlike the wall-clock figures in Engine) and
+	// always recorded, so grid runners can report throughput and archives
+	// can carry engine totals without enabling telemetry.
+	Processed uint64
 }
 
 // Run executes one experiment. It validates the spec, enforces the event
@@ -532,11 +537,12 @@ func Run(spec Spec) (*Result, error) {
 		}
 	}
 	return &Result{
-		Spec:    spec,
-		Report:  report,
-		Events:  bus,
-		Profile: prof,
-		Engine:  coll.Stop(),
+		Spec:      spec,
+		Report:    report,
+		Events:    bus,
+		Profile:   prof,
+		Engine:    coll.Stop(),
+		Processed: eng.Processed(),
 	}, nil
 }
 

@@ -1,0 +1,369 @@
+// Package obs is the grid-level observability layer: run archives,
+// cross-run aggregation, live progress, and the regression differ.
+//
+// PR 2's internal/telemetry observes one run from the inside (event bus,
+// per-conn histograms, cycle profiler); obs observes the *grid* from the
+// outside. Every experiment invocation can write a structured run archive —
+// a manifest plus one artifact per grid point in a strict, versioned JSON
+// codec — which downstream tools aggregate into per-cell
+// (device×CPU×CC×network) rollups with percentile extraction, watch live
+// via a wall-clock progress reporter, and compare across runs with
+// noise-aware regression gating (cmd/mobbr-diff).
+//
+// Layout of a run archive root:
+//
+//	runA/
+//	  fig2/
+//	    manifest.json      # grid description: spec matrix size, seeds, flags
+//	    points/000.json    # one artifact per grid point, strictly versioned
+//	    points/001.json
+//	  recovery/
+//	    ...
+//
+// Per-point artifacts contain only deterministic fields (measurements,
+// spec JSON, contained failures, engine event totals), so re-archiving the
+// same grid — including a journal-resumed one — reproduces them
+// byte-identically. Wall-clock timing lives in the manifest only.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mobbr/internal/telemetry"
+)
+
+// Version guards the archive codec. Readers reject other versions loudly
+// instead of misinterpreting fields.
+const Version = 1
+
+// Manifest describes one archived experiment run.
+type Manifest struct {
+	// V is the codec version (Version).
+	V int `json:"v"`
+	// Exp is the experiment id ("fig2", "recovery", "trace", ...).
+	Exp string `json:"exp"`
+	// Title is the experiment's human description.
+	Title string `json:"title,omitempty"`
+	// Points is the grid size; points/ must hold exactly this many files.
+	Points int `json:"points"`
+	// Seeds is the per-point seed count.
+	Seeds int `json:"seeds"`
+	// Dur is the simulated duration per run (Go duration string).
+	Dur string `json:"dur"`
+	// Trace/Metrics/Profile record the telemetry flag set of the run.
+	Trace   bool `json:"trace,omitempty"`
+	Metrics bool `json:"metrics,omitempty"`
+	Profile bool `json:"profile,omitempty"`
+	// Flags carries any extra invocation knobs worth recording (e.g. a
+	// deliberate -force-stride perturbation). Keys render sorted.
+	Flags map[string]string `json:"flags,omitempty"`
+	// Git is `git describe --always --dirty` at archive time ("" when
+	// unavailable).
+	Git string `json:"git,omitempty"`
+	// WallMs is the wall-clock time the grid took, in milliseconds. It is
+	// the manifest's only nondeterministic field; per-point artifacts carry
+	// none.
+	WallMs float64 `json:"wall_ms,omitempty"`
+	// Events is the total simulator events executed across the grid
+	// (deterministic; the engine-level "CPU" of the run).
+	Events uint64 `json:"events,omitempty"`
+}
+
+// Metrics is the measured outcome of one grid point — the union of the
+// fields the standard, recovery and trace experiments report, with
+// omitempty on the experiment-specific ones.
+type Metrics struct {
+	GoodputMbps  float64 `json:"goodput_mbps"`
+	GoodputCI    float64 `json:"goodput_ci,omitempty"`
+	RTTms        float64 `json:"rtt_ms,omitempty"`
+	MinRTTms     float64 `json:"min_rtt_ms,omitempty"`
+	Retransmits  float64 `json:"retransmits,omitempty"`
+	SKBKbits     float64 `json:"skb_kbits,omitempty"`
+	IdleMs       float64 `json:"idle_ms,omitempty"`
+	ExpectedMbps float64 `json:"expected_mbps,omitempty"`
+	MaxBufKB     float64 `json:"max_buf_kb,omitempty"`
+	CPUUtil      float64 `json:"cpu_util,omitempty"`
+	Jain         float64 `json:"jain,omitempty"`
+	PacingShare  float64 `json:"pacing_share,omitempty"`
+	Profiled     bool    `json:"profiled,omitempty"`
+	// RecoveryMs / RecoveryCI / Recovered are the recovery experiment's
+	// metrics.
+	RecoveryMs float64 `json:"recovery_ms,omitempty"`
+	RecoveryCI float64 `json:"recovery_ci,omitempty"`
+	Recovered  int     `json:"recovered,omitempty"`
+	// SpuriousRTOs is recovery's F-RTO signal.
+	SpuriousRTOs float64 `json:"spurious_rtos,omitempty"`
+}
+
+// Failure mirrors the resilient runner's contained-failure record.
+type Failure struct {
+	Class    string `json:"class"`
+	Rule     string `json:"rule,omitempty"`
+	Msg      string `json:"msg"`
+	Repro    string `json:"repro,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+}
+
+// HistDigest is one instrument's merged histogram across the point's
+// connections, with the rollup percentiles pre-extracted.
+type HistDigest struct {
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	P50    float64   `json:"p50"`
+	P90    float64   `json:"p90"`
+	P99    float64   `json:"p99"`
+}
+
+// PointRecord is the per-grid-point artifact.
+type PointRecord struct {
+	// V is the codec version (Version).
+	V int `json:"v"`
+	// I is the point's grid index; the file name is %03d.json of it.
+	I int `json:"i"`
+	// Label names the cell within its experiment.
+	Label string `json:"label"`
+	// Spec is the point's exact defaulted spec in core.EncodeSpec form —
+	// the same bytes a repro line carries — and the identity mobbr-diff
+	// aligns on (modulo deliberate knob perturbations).
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Metrics is the measured outcome (zero when Failure is set).
+	Metrics Metrics `json:"metrics"`
+	// Events is the simulator events executed for this point across its
+	// seeds (deterministic).
+	Events uint64 `json:"events,omitempty"`
+	// MaxPending is the engine queue high-water mark of the last seed when
+	// engine self-metrics were collected (deterministic).
+	MaxPending int `json:"max_pending,omitempty"`
+	// Failure is the contained failure class/rule/repro, if the point
+	// failed under the resilient runner.
+	Failure *Failure `json:"failure,omitempty"`
+	// Digest holds the point's telemetry histogram digest (last seed),
+	// keyed by instrument, when metrics telemetry was enabled for an
+	// in-process run (journal-resumed points have no in-memory sample and
+	// therefore no digest).
+	Digest map[string]HistDigest `json:"digest,omitempty"`
+	// DigestSkipped counts histograms dropped from Digest because their
+	// bucket bounds did not match their instrument's.
+	DigestSkipped int `json:"digest_skipped,omitempty"`
+}
+
+// Run is one loaded experiment archive.
+type Run struct {
+	Dir      string
+	Manifest Manifest
+	Points   []PointRecord
+}
+
+// pointFile names the i-th artifact.
+func pointFile(i int) string { return fmt.Sprintf("%03d.json", i) }
+
+// WriteRun writes (or atomically replaces) one experiment's archive
+// directory: manifest.json plus points/NNN.json. Any stale points/ content
+// from a previous, differently-shaped run is removed first, so re-archiving
+// never orphans artifacts.
+func WriteRun(dir string, m Manifest, points []PointRecord) error {
+	if m.V == 0 {
+		m.V = Version
+	}
+	if m.V != Version {
+		return fmt.Errorf("obs: manifest version %d, codec is %d", m.V, Version)
+	}
+	if m.Points != len(points) {
+		return fmt.Errorf("obs: manifest declares %d points, got %d records", m.Points, len(points))
+	}
+	pdir := filepath.Join(dir, "points")
+	if err := os.RemoveAll(pdir); err != nil {
+		return fmt.Errorf("obs: clearing %s: %w", pdir, err)
+	}
+	if err := os.MkdirAll(pdir, 0o755); err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	for i, p := range points {
+		if p.V == 0 {
+			p.V = Version
+		}
+		if p.I != i {
+			return fmt.Errorf("obs: point record %d carries index %d", i, p.I)
+		}
+		data, err := json.MarshalIndent(p, "", " ")
+		if err != nil {
+			return fmt.Errorf("obs: encoding point %d: %w", i, err)
+		}
+		if err := os.WriteFile(filepath.Join(pdir, pointFile(i)), append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+	}
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return fmt.Errorf("obs: encoding manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	return nil
+}
+
+// LoadRun reads one experiment archive directory strictly: unknown fields,
+// version drift, missing or surplus point files are errors.
+func LoadRun(dir string) (*Run, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	var m Manifest
+	if err := strictUnmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("obs: %s/manifest.json: %w", dir, err)
+	}
+	if m.V != Version {
+		return nil, fmt.Errorf("obs: %s: archive version %d, this tool reads %d", dir, m.V, Version)
+	}
+	pdir := filepath.Join(dir, "points")
+	entries, err := os.ReadDir(pdir)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	if len(entries) != m.Points {
+		return nil, fmt.Errorf("obs: %s: manifest declares %d points but points/ holds %d files", dir, m.Points, len(entries))
+	}
+	r := &Run{Dir: dir, Manifest: m, Points: make([]PointRecord, m.Points)}
+	for i := 0; i < m.Points; i++ {
+		data, err := os.ReadFile(filepath.Join(pdir, pointFile(i)))
+		if err != nil {
+			return nil, fmt.Errorf("obs: %w", err)
+		}
+		var p PointRecord
+		if err := strictUnmarshal(data, &p); err != nil {
+			return nil, fmt.Errorf("obs: %s/points/%s: %w", dir, pointFile(i), err)
+		}
+		if p.V != Version {
+			return nil, fmt.Errorf("obs: %s/points/%s: version %d, this tool reads %d", dir, pointFile(i), p.V, Version)
+		}
+		if p.I != i {
+			return nil, fmt.Errorf("obs: %s/points/%s: carries index %d", dir, pointFile(i), p.I)
+		}
+		r.Points[i] = p
+	}
+	return r, nil
+}
+
+// Archive is a loaded run-archive root: one Run per experiment
+// subdirectory (or a single Run when the root itself is one).
+type Archive struct {
+	Root string
+	// Runs maps experiment id to its archive.
+	Runs map[string]*Run
+	// Order lists experiment ids in sorted order for deterministic output.
+	Order []string
+}
+
+// LoadArchive loads every experiment run under root. A root that is itself
+// a run directory (holds manifest.json) loads as a single-experiment
+// archive.
+func LoadArchive(root string) (*Archive, error) {
+	a := &Archive{Root: root, Runs: map[string]*Run{}}
+	if _, err := os.Stat(filepath.Join(root, "manifest.json")); err == nil {
+		r, err := LoadRun(root)
+		if err != nil {
+			return nil, err
+		}
+		a.Runs[r.Manifest.Exp] = r
+		a.Order = []string{r.Manifest.Exp}
+		return a, nil
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sub := filepath.Join(root, e.Name())
+		if _, err := os.Stat(filepath.Join(sub, "manifest.json")); err != nil {
+			continue
+		}
+		r, err := LoadRun(sub)
+		if err != nil {
+			return nil, err
+		}
+		if r.Manifest.Exp != e.Name() {
+			return nil, fmt.Errorf("obs: %s: manifest says experiment %q", sub, r.Manifest.Exp)
+		}
+		a.Runs[r.Manifest.Exp] = r
+	}
+	if len(a.Runs) == 0 {
+		return nil, fmt.Errorf("obs: %s holds no run archives (no manifest.json anywhere)", root)
+	}
+	for id := range a.Runs {
+		a.Order = append(a.Order, id)
+	}
+	sort.Strings(a.Order)
+	return a, nil
+}
+
+// strictUnmarshal decodes JSON rejecting unknown fields, so a drifted
+// archive fails loudly instead of silently dropping data.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+// GitDescribe returns `git describe --always --dirty` of the working tree,
+// or "" when git or the repository is unavailable. Archive metadata only —
+// never part of point identity.
+func GitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// DigestSnapshot converts a run's telemetry registry snapshot into the
+// archive digest: per-connection histograms merged by instrument with the
+// rollup percentiles extracted at write time. The skip count reports
+// histograms dropped for mismatched bucket bounds.
+func DigestSnapshot(s *telemetry.Snapshot) (map[string]HistDigest, int) {
+	merged, skipped := s.HistogramDigest()
+	if len(merged) == 0 {
+		return nil, skipped
+	}
+	out := make(map[string]HistDigest, len(merged))
+	for name, h := range merged {
+		if h.Count == 0 {
+			// Empty histograms carry ±Inf min/max sentinels, which JSON
+			// cannot encode — and say nothing worth archiving.
+			continue
+		}
+		out[name] = HistDigest{
+			Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max,
+			Bounds: h.Bounds, Counts: h.Counts,
+			P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+		}
+	}
+	if len(out) == 0 {
+		return nil, skipped
+	}
+	return out, skipped
+}
+
+// Snapshot re-expresses the digest as a telemetry snapshot for merging
+// across points (rollups).
+func (d HistDigest) Snapshot() telemetry.HistogramSnapshot {
+	return telemetry.HistogramSnapshot{Count: d.Count, Sum: d.Sum, Min: d.Min, Max: d.Max,
+		Bounds: d.Bounds, Counts: d.Counts}
+}

@@ -1,0 +1,179 @@
+// Live progress for long grid runs: a wall-clock stderr ticker showing each
+// worker's current point, completed/failed counts, cumulative simulator
+// events/sec, and an ETA from an online per-point-duration estimate. The
+// reporter lives entirely on the wall-clock side of the house — it observes
+// the virtual-time simulation but never feeds back into it, so enabling it
+// cannot perturb results (the golden-trace and j1-vs-j8 tests pin that).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mobbr/internal/stats"
+)
+
+// Progress implements the repro.Observer contract (structurally — the
+// interface lives in repro to keep the import direction obs→repro-free).
+// All methods are safe for concurrent use by pool workers. The zero value
+// is not usable; construct with NewProgress and always call Stop.
+type Progress struct {
+	mu      sync.Mutex
+	w       io.Writer
+	exp     string
+	total   int
+	done    int
+	failed  int
+	events  uint64
+	started time.Time
+	// perPoint estimates completion wall time per point online, so the ETA
+	// tightens as the run proceeds.
+	perPoint stats.Online
+	starts   map[int]time.Time // point index → wall start
+	current  map[int]string    // worker → label of in-flight point
+	stop     chan struct{}
+	stopped  chan struct{}
+	lastLen  int
+}
+
+// NewProgress starts a reporter writing to w (normally os.Stderr) every
+// interval (0 means 500ms). Call Stop when the run finishes to clear the
+// ticker line and release the goroutine.
+func NewProgress(w io.Writer, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	p := &Progress{
+		w:       w,
+		started: time.Now(),
+		starts:  map[int]time.Time{},
+		current: map[int]string{},
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	go p.loop(interval)
+	return p
+}
+
+// BeginExperiment resets the counters for a new experiment grid.
+func (p *Progress) BeginExperiment(id string, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.exp = id
+	p.total = total
+	p.done, p.failed, p.events = 0, 0, 0
+	p.started = time.Now()
+	p.perPoint = stats.Online{}
+	p.starts = map[int]time.Time{}
+	p.current = map[int]string{}
+}
+
+// PointStart records that worker picked up grid point index.
+func (p *Progress) PointStart(worker, index int, label string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.starts[index] = time.Now()
+	p.current[worker] = label
+}
+
+// PointDone records completion of grid point index. Points restored from a
+// resume journal arrive as Done without a preceding Start; they count
+// toward done/failed but not toward the per-point duration estimate.
+func (p *Progress) PointDone(worker, index int, events uint64, failed bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	if failed {
+		p.failed++
+	}
+	p.events += events
+	if t0, ok := p.starts[index]; ok {
+		p.perPoint.Add(time.Since(t0).Seconds())
+		delete(p.starts, index)
+	}
+	delete(p.current, worker)
+}
+
+// Stop halts the ticker, clears the status line, and prints a final
+// one-line summary.
+func (p *Progress) Stop() {
+	close(p.stop)
+	<-p.stopped
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.clearLocked()
+	fmt.Fprintf(p.w, "progress: %s done %d/%d (%d failed) in %s\n",
+		p.exp, p.done, p.total, p.failed, time.Since(p.started).Round(100*time.Millisecond))
+}
+
+func (p *Progress) loop(interval time.Duration) {
+	defer close(p.stopped)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.render()
+		}
+	}
+}
+
+func (p *Progress) clearLocked() {
+	if p.lastLen > 0 {
+		fmt.Fprintf(p.w, "\r%s\r", strings.Repeat(" ", p.lastLen))
+		p.lastLen = 0
+	}
+}
+
+func (p *Progress) render() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	elapsed := time.Since(p.started).Seconds()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %d/%d", p.exp, p.done, p.total)
+	if p.failed > 0 {
+		fmt.Fprintf(&b, " (%d failed)", p.failed)
+	}
+	if elapsed > 0 && p.events > 0 {
+		fmt.Fprintf(&b, " %.1fM ev/s", float64(p.events)/elapsed/1e6)
+	}
+	if eta, ok := p.etaLocked(); ok {
+		fmt.Fprintf(&b, " eta %s", eta.Round(time.Second))
+	}
+	workers := make([]int, 0, len(p.current))
+	for wkr := range p.current {
+		workers = append(workers, wkr)
+	}
+	sort.Ints(workers)
+	for _, wkr := range workers {
+		fmt.Fprintf(&b, " [w%d %s]", wkr, p.current[wkr])
+	}
+	line := b.String()
+	pad := ""
+	if n := p.lastLen - len([]rune(line)); n > 0 {
+		pad = strings.Repeat(" ", n)
+	}
+	fmt.Fprintf(p.w, "\r%s%s", line, pad)
+	p.lastLen = len([]rune(line))
+}
+
+// etaLocked estimates remaining wall time: mean per-point duration times
+// remaining points, divided by the current in-flight width (completed
+// points stream through all workers roughly evenly).
+func (p *Progress) etaLocked() (time.Duration, bool) {
+	if p.perPoint.N() == 0 || p.total <= p.done {
+		return 0, false
+	}
+	width := len(p.current)
+	if width == 0 {
+		width = 1
+	}
+	sec := p.perPoint.Mean() * float64(p.total-p.done) / float64(width)
+	return time.Duration(sec * float64(time.Second)), true
+}

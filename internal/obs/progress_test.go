@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer guards a builder against the ticker goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestProgressLifecycle(t *testing.T) {
+	var buf syncBuffer
+	p := NewProgress(&buf, time.Millisecond)
+	p.BeginExperiment("fig2", 3)
+	// Resumed point: Done without a preceding Start must not panic and must
+	// still count.
+	p.PointDone(0, 0, 500, false)
+	p.PointStart(1, 1, "cellB")
+	p.PointDone(1, 1, 1000, false)
+	p.PointStart(0, 2, "cellC")
+	p.PointDone(0, 2, 0, true)
+	time.Sleep(5 * time.Millisecond) // let the ticker render at least once
+	p.Stop()
+	out := buf.String()
+	if !strings.Contains(out, "progress: fig2 done 3/3 (1 failed)") {
+		t.Fatalf("summary missing:\n%q", out)
+	}
+}
+
+func TestProgressConcurrent(t *testing.T) {
+	var buf syncBuffer
+	p := NewProgress(&buf, time.Millisecond)
+	p.BeginExperiment("fig2", 64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < 64; i += 8 {
+				p.PointStart(w, i, "pt")
+				p.PointDone(w, i, 100, false)
+			}
+		}(w)
+	}
+	wg.Wait()
+	p.Stop()
+	if !strings.Contains(buf.String(), "done 64/64") {
+		t.Fatalf("output:\n%q", buf.String())
+	}
+}

@@ -1,0 +1,179 @@
+// Cross-run aggregation: fold a run archive's grid points into per-cell
+// (device×CPU×CC×network) rollups — the fleet-shaped view the paper's
+// claims are actually about. Percentiles come from two places: point-level
+// goodput distributions across each cell (p50/p90/p99 over grid points),
+// and instrument-level histogram digests merged across the cell's points
+// (e.g. the pacing-timer slip p99 for "Low-End bbr" as a cohort).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"mobbr/internal/stats"
+	"mobbr/internal/telemetry"
+)
+
+// Cell is the rollup cohort key. Fields hold the spec-codec tokens
+// ("pixel4", "low", "bbr", "ethernet"); empty fields render as "-".
+type Cell struct {
+	Device  string `json:"device"`
+	CPU     string `json:"cpu"`
+	CC      string `json:"cc"`
+	Network string `json:"network"`
+}
+
+// String renders the cell as device/cpu/cc/network.
+func (c Cell) String() string {
+	f := func(s string) string {
+		if s == "" {
+			return "-"
+		}
+		return s
+	}
+	return f(c.Device) + "/" + f(c.CPU) + "/" + f(c.CC) + "/" + f(c.Network)
+}
+
+// cellSpec is the loose view of a spec-codec document the rollup needs —
+// the tokens are already strings in core.EncodeSpec's wire form, so no
+// dependency on internal/core is required here.
+type cellSpec struct {
+	Device  string `json:"device"`
+	CPU     string `json:"cpu"`
+	CC      string `json:"cc"`
+	Network string `json:"network"`
+}
+
+// CellOf extracts the cohort key from a point's archived spec. Points
+// without a spec (or with an unparsable one) land in the zero Cell.
+func CellOf(spec json.RawMessage) Cell {
+	if len(spec) == 0 {
+		return Cell{}
+	}
+	var s cellSpec
+	if err := json.Unmarshal(spec, &s); err != nil {
+		return Cell{}
+	}
+	return Cell{Device: s.Device, CPU: s.CPU, CC: s.CC, Network: s.Network}
+}
+
+// CellRollup aggregates one cell's grid points.
+type CellRollup struct {
+	Cell   Cell
+	Points int
+	Failed int
+	// Goodputs / Retx / RTTs / Paces hold the per-point values (successful
+	// points only), for percentile extraction.
+	Goodputs []float64
+	Retx     []float64
+	RTTs     []float64
+	// Paces holds pacing-timer shares of profiled points only.
+	Paces []float64
+	// GoodputCIs mirrors Goodputs with each point's own 95% CI.
+	GoodputCIs []float64
+	// Digest is the cell-wide merge of the points' instrument digests.
+	Digest map[string]telemetry.HistogramSnapshot
+	// DigestSkipped counts histograms that could not merge into the cell
+	// digest because of mismatched bucket bounds.
+	DigestSkipped int
+}
+
+// GoodputP returns the p-th percentile of the cell's point goodputs.
+func (c *CellRollup) GoodputP(p float64) float64 { return stats.Percentile(c.Goodputs, p) }
+
+// Rollup folds a run's points into sorted per-cell rollups.
+func Rollup(r *Run) []CellRollup {
+	byCell := map[Cell]*CellRollup{}
+	var order []Cell
+	for _, p := range r.Points {
+		cell := CellOf(p.Spec)
+		cr, ok := byCell[cell]
+		if !ok {
+			cr = &CellRollup{Cell: cell, Digest: map[string]telemetry.HistogramSnapshot{}}
+			byCell[cell] = cr
+			order = append(order, cell)
+		}
+		cr.Points++
+		if p.Failure != nil {
+			cr.Failed++
+			continue
+		}
+		cr.Goodputs = append(cr.Goodputs, p.Metrics.GoodputMbps)
+		cr.GoodputCIs = append(cr.GoodputCIs, p.Metrics.GoodputCI)
+		cr.Retx = append(cr.Retx, p.Metrics.Retransmits)
+		cr.RTTs = append(cr.RTTs, p.Metrics.RTTms)
+		if p.Metrics.Profiled {
+			cr.Paces = append(cr.Paces, p.Metrics.PacingShare)
+		}
+		cr.DigestSkipped += p.DigestSkipped
+		digestNames := make([]string, 0, len(p.Digest))
+		for name := range p.Digest {
+			digestNames = append(digestNames, name)
+		}
+		sort.Strings(digestNames)
+		for _, name := range digestNames {
+			merged, err := telemetry.MergeHistogramSnapshots(cr.Digest[name], p.Digest[name].Snapshot())
+			if err != nil {
+				cr.DigestSkipped++
+				continue
+			}
+			cr.Digest[name] = merged
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].String() < order[j].String() })
+	out := make([]CellRollup, len(order))
+	for i, cell := range order {
+		out[i] = *byCell[cell]
+	}
+	return out
+}
+
+// WriteRollup renders the per-cell summary table: goodput percentiles
+// across the cell's grid points, mean retransmissions, mean pacing share
+// (profiled points only), and — when digests are present — the merged
+// pacing-timer slip p99.
+func WriteRollup(w io.Writer, r *Run, cells []CellRollup) error {
+	if _, err := fmt.Fprintf(w, "== rollup %s: %d points, %d cells (seeds=%d dur=%s)\n",
+		r.Manifest.Exp, r.Manifest.Points, len(cells), r.Manifest.Seeds, r.Manifest.Dur); err != nil {
+		return err
+	}
+	hasDigest := false
+	for i := range cells {
+		if len(cells[i].Digest) > 0 {
+			hasDigest = true
+			break
+		}
+	}
+	fmt.Fprintf(w, "%-32s %4s %4s %9s %9s %9s %9s %7s", "cell", "pts", "fail",
+		"gput p50", "p90", "p99", "retx", "pace%")
+	if hasDigest {
+		fmt.Fprintf(w, " %12s", "slip p99 µs")
+	}
+	fmt.Fprintln(w)
+	for i := range cells {
+		c := &cells[i]
+		pace := "-"
+		if len(c.Paces) > 0 {
+			pace = fmt.Sprintf("%.1f", stats.Mean(c.Paces)*100)
+		}
+		fmt.Fprintf(w, "%-32s %4d %4d %9.1f %9.1f %9.1f %9.0f %7s",
+			c.Cell, c.Points, c.Failed,
+			c.GoodputP(50), c.GoodputP(90), c.GoodputP(99),
+			stats.Mean(c.Retx), pace)
+		if hasDigest {
+			slip := "-"
+			if h, ok := c.Digest["pacing_timer_slip_us"]; ok && h.Count > 0 {
+				slip = fmt.Sprintf("%.0f", h.Quantile(0.99))
+			}
+			fmt.Fprintf(w, " %12s", slip)
+		}
+		if c.DigestSkipped > 0 {
+			fmt.Fprintf(w, "  (%d digest histograms skipped: mismatched bounds)", c.DigestSkipped)
+		}
+		fmt.Fprintln(w)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func specJSON(device, cpu, cc, network string) []byte {
+	return []byte(`{"device":"` + device + `","cpu":"` + cpu + `","cc":"` + cc +
+		`","network":"` + network + `"}`)
+}
+
+func TestCellOf(t *testing.T) {
+	c := CellOf(specJSON("pixel4", "low", "bbr", "ethernet"))
+	want := Cell{Device: "pixel4", CPU: "low", CC: "bbr", Network: "ethernet"}
+	if c != want {
+		t.Fatalf("got %+v", c)
+	}
+	if c.String() != "pixel4/low/bbr/ethernet" {
+		t.Fatalf("String: %q", c.String())
+	}
+	if got := CellOf(nil); got != (Cell{}) {
+		t.Fatalf("nil spec: %+v", got)
+	}
+	if (Cell{}).String() != "-/-/-/-" {
+		t.Fatalf("zero cell: %q", (Cell{}).String())
+	}
+}
+
+func rollupRun() *Run {
+	bounds := []float64{16, 64}
+	digest := func(count uint64, sum float64) map[string]HistDigest {
+		return map[string]HistDigest{
+			"pacing_timer_slip_us": {Count: count, Sum: sum, Min: 1, Max: 100,
+				Bounds: bounds, Counts: []uint64{count - 1, 0, 1}},
+		}
+	}
+	pts := []PointRecord{
+		{I: 0, Label: "a", Spec: specJSON("pixel4", "low", "bbr", "ethernet"),
+			Metrics: Metrics{GoodputMbps: 100, Retransmits: 10, Profiled: true, PacingShare: 0.5},
+			Digest:  digest(4, 40)},
+		{I: 1, Label: "b", Spec: specJSON("pixel4", "low", "bbr", "ethernet"),
+			Metrics: Metrics{GoodputMbps: 200, Retransmits: 30, Profiled: true, PacingShare: 0.3},
+			Digest:  digest(6, 60)},
+		{I: 2, Label: "c", Spec: specJSON("pixel4", "low", "bbr", "ethernet"),
+			Failure: &Failure{Class: "panic", Msg: "boom"}},
+		{I: 3, Label: "d", Spec: specJSON("mi10", "high", "cubic", "lte"),
+			Metrics: Metrics{GoodputMbps: 50}},
+	}
+	return &Run{
+		Manifest: Manifest{V: Version, Exp: "fig2", Points: len(pts), Seeds: 3, Dur: "4s"},
+		Points:   pts,
+	}
+}
+
+func TestRollup(t *testing.T) {
+	cells := Rollup(rollupRun())
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	// Sorted by cell string: mi10/... before pixel4/...
+	if cells[0].Cell.Device != "mi10" || cells[1].Cell.Device != "pixel4" {
+		t.Fatalf("cell order: %v %v", cells[0].Cell, cells[1].Cell)
+	}
+	px := cells[1]
+	if px.Points != 3 || px.Failed != 1 || len(px.Goodputs) != 2 {
+		t.Fatalf("pixel4 cell: pts=%d failed=%d goodputs=%d", px.Points, px.Failed, len(px.Goodputs))
+	}
+	if got := px.GoodputP(50); got != 150 {
+		t.Fatalf("p50=%v", got)
+	}
+	if len(px.Paces) != 2 {
+		t.Fatalf("paces: %v", px.Paces)
+	}
+	h, ok := px.Digest["pacing_timer_slip_us"]
+	if !ok || h.Count != 10 || h.Sum != 100 {
+		t.Fatalf("merged digest: %+v", h)
+	}
+	if px.DigestSkipped != 0 {
+		t.Fatalf("skipped=%d", px.DigestSkipped)
+	}
+}
+
+func TestRollupSkipsMismatchedDigestBounds(t *testing.T) {
+	r := rollupRun()
+	// Same instrument, different bucket bounds: must be skipped, not summed.
+	r.Points[1].Digest["pacing_timer_slip_us"] = HistDigest{
+		Count: 6, Sum: 60, Min: 1, Max: 100,
+		Bounds: []float64{32, 128}, Counts: []uint64{5, 0, 1},
+	}
+	cells := Rollup(r)
+	px := cells[1]
+	if px.DigestSkipped != 1 {
+		t.Fatalf("skipped=%d", px.DigestSkipped)
+	}
+	if h := px.Digest["pacing_timer_slip_us"]; h.Count != 4 {
+		t.Fatalf("corrupted merge: %+v", h)
+	}
+}
+
+func TestWriteRollup(t *testing.T) {
+	r := rollupRun()
+	cells := Rollup(r)
+	var b strings.Builder
+	if err := WriteRollup(&b, r, cells); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"== rollup fig2: 4 points, 2 cells",
+		"pixel4/low/bbr/ethernet",
+		"mi10/high/cubic/lte",
+		"slip p99",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rollup output missing %q:\n%s", want, out)
+		}
+	}
+}

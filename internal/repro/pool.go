@@ -28,6 +28,14 @@ func Workers(j int) int {
 // panic inside fn is captured into that index's error instead of killing
 // the process.
 func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachW(n, workers, func(_, i int) error { return fn(i) })
+}
+
+// ForEachW is ForEach with the worker id (0..workers-1) passed to fn, so
+// callers that report live progress can attribute in-flight points to
+// workers. The worker id must not influence results — it is observability
+// only.
+func ForEachW(n, workers int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -38,23 +46,23 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	errs := make([]error, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			errs[i] = runGuarded(i, fn)
+			errs[i] = runGuarded(0, i, fn)
 		}
 	} else {
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
-			go func() {
+			go func(w int) {
 				defer wg.Done()
 				for {
 					i := int(next.Add(1)) - 1
 					if i >= n {
 						return
 					}
-					errs[i] = runGuarded(i, fn)
+					errs[i] = runGuarded(w, i, fn)
 				}
-			}()
+			}(w)
 		}
 		wg.Wait()
 	}
@@ -66,14 +74,14 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	return nil
 }
 
-// runGuarded invokes fn(i), converting a panic into an error carrying the
-// stack, so one broken grid point reports instead of tearing down the
+// runGuarded invokes fn(w, i), converting a panic into an error carrying
+// the stack, so one broken grid point reports instead of tearing down the
 // whole sweep.
-func runGuarded(i int, fn func(int) error) (err error) {
+func runGuarded(w, i int, fn func(int, int) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("point %d panicked: %v\n%s", i, r, debug.Stack())
 		}
 	}()
-	return fn(i)
+	return fn(w, i)
 }

@@ -46,6 +46,10 @@ type RunOpts struct {
 	// Backoff is the first retry's delay, doubling per attempt
 	// (default 100ms).
 	Backoff time.Duration
+	// Progress, when set, receives per-point lifecycle callbacks (live
+	// progress reporting). Journal-resumed points report PointDone without a
+	// preceding PointStart. Never influences execution.
+	Progress Observer
 }
 
 func (o RunOpts) withDefaults() RunOpts {
@@ -120,11 +124,25 @@ func RunExperimentResilient(e Experiment, opts RunOpts) ([]Row, error) {
 		}
 		defer jw.close()
 	}
-	err := ForEach(len(e.Points), opts.Workers, func(i int) error {
+	if opts.Progress != nil {
+		opts.Progress.BeginExperiment(e.ID, len(e.Points))
+		for i, d := range done {
+			if d {
+				opts.Progress.PointDone(0, i, rows[i].Events, rows[i].Failure != nil)
+			}
+		}
+	}
+	err := ForEachW(len(e.Points), opts.Workers, func(w, i int) error {
 		if done[i] {
 			return nil
 		}
+		if opts.Progress != nil {
+			opts.Progress.PointStart(w, i, e.Points[i].Label)
+		}
 		rows[i] = runPointResilient(e.Points[i], opts)
+		if opts.Progress != nil {
+			opts.Progress.PointDone(w, i, rows[i].Events, rows[i].Failure != nil)
+		}
 		if jw != nil {
 			return jw.append(entryFromRow(i, rows[i]))
 		}
@@ -251,6 +269,7 @@ type journalEntry struct {
 	CPUUtil      float64  `json:"cpu_util"`
 	Jain         float64  `json:"jain"`
 	PacingShare  float64  `json:"pacing_share"`
+	Events       uint64   `json:"events,omitempty"`
 	Profiled     bool     `json:"profiled,omitempty"`
 	Failure      *Failure `json:"failure,omitempty"`
 }
@@ -271,6 +290,7 @@ func entryFromRow(i int, r Row) journalEntry {
 		CPUUtil:      r.CPUUtil,
 		Jain:         r.Jain,
 		PacingShare:  r.PacingShare,
+		Events:       r.Events,
 		Profiled:     r.Profiled,
 		Failure:      r.Failure,
 	}
@@ -293,6 +313,7 @@ func (ent journalEntry) row(p Point) Row {
 		CPUUtil:      ent.CPUUtil,
 		Jain:         ent.Jain,
 		PacingShare:  ent.PacingShare,
+		Events:       ent.Events,
 		Profiled:     ent.Profiled,
 		Failure:      ent.Failure,
 	}

@@ -167,6 +167,94 @@ func TestResilientResumeTornEntry(t *testing.T) {
 	}
 }
 
+// TestResumeArchiveInterplay: archiving a journal-resumed grid must produce
+// exactly the same per-point artifacts as archiving the uninterrupted run —
+// no duplicated, missing, or orphaned files — and re-archiving a smaller
+// grid into the same directory must remove the stale artifacts.
+func TestResumeArchiveInterplay(t *testing.T) {
+	e := chaosGrid()
+	dir := t.TempDir()
+
+	full := chaosOpts
+	full.Journal = filepath.Join(dir, "full.jsonl")
+	fullRows, err := RunExperimentResilient(e, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aopts := ArchiveOpts{Dur: chaosOpts.Dur, Seeds: chaosOpts.Seeds}
+	aopts.Dir = filepath.Join(dir, "runFull")
+	if err := ArchiveExperiment(e, fullRows, aopts); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the grid after two points, resume, archive the resumed rows.
+	data, err := os.ReadFile(full.Journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	torn := filepath.Join(dir, "torn.jsonl")
+	if err := os.WriteFile(torn, []byte(strings.Join(lines[:3], "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resume := chaosOpts
+	resume.Journal = torn
+	resume.Resume = true
+	resumedRows, err := RunExperimentResilient(e, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ropts := aopts
+	ropts.Dir = filepath.Join(dir, "runResumed")
+	if err := ArchiveExperiment(e, resumedRows, ropts); err != nil {
+		t.Fatal(err)
+	}
+
+	fullPts := filepath.Join(aopts.Dir, e.ID, "points")
+	resPts := filepath.Join(ropts.Dir, e.ID, "points")
+	fullFiles, err := os.ReadDir(fullPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resFiles, err := os.ReadDir(resPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fullFiles) != len(e.Points) || len(resFiles) != len(e.Points) {
+		t.Fatalf("artifact counts: full=%d resumed=%d want %d",
+			len(fullFiles), len(resFiles), len(e.Points))
+	}
+	for _, f := range fullFiles {
+		a, err := os.ReadFile(filepath.Join(fullPts, f.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(resPts, f.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs between full and resumed archives:\n--- full\n%s--- resumed\n%s",
+				f.Name(), a, b)
+		}
+	}
+
+	// Re-archiving a shrunk grid into the same run directory must not
+	// orphan the old 002/003 artifacts.
+	small := e
+	small.Points = e.Points[:2]
+	if err := ArchiveExperiment(small, fullRows[:2], aopts); err != nil {
+		t.Fatal(err)
+	}
+	left, err := os.ReadDir(fullPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 2 {
+		t.Fatalf("stale artifacts survived re-archive: %d files", len(left))
+	}
+}
+
 // TestResilientResumeRejectsMismatchedConfig: resuming under different
 // settings must refuse rather than mix incompatible rows.
 func TestResilientResumeRejectsMismatchedConfig(t *testing.T) {

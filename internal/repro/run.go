@@ -40,6 +40,10 @@ type Row struct {
 	// from the cycle profiler (0 when profiling was off) — the §6.1
 	// per-event-overhead signal.
 	PacingShare float64
+	// Events is the total simulator events executed across the point's
+	// seeds. Deterministic per spec+seed, so it survives the checkpoint
+	// journal and the run archive unchanged.
+	Events uint64
 	// Sample is the last seed's full result, carrying the telemetry bus,
 	// profile and engine stats when they were enabled.
 	Sample *core.Result
@@ -73,10 +77,38 @@ func RunExperimentTelemetry(e Experiment, dur time.Duration, seeds int, tel tele
 // identical to a serial run's; the error, if any, is the
 // smallest-index point's.
 func RunExperimentPool(e Experiment, dur time.Duration, seeds int, tel telemetry.Config, workers int) ([]Row, error) {
+	return RunExperimentPoolObserved(e, dur, seeds, tel, workers, nil)
+}
+
+// Observer receives grid-run lifecycle callbacks (obs.Progress implements
+// it). Observers live on the wall-clock side only: the runner never lets
+// one influence point order, specs, or results, so enabling progress cannot
+// perturb a deterministic run. Methods must be safe for concurrent workers.
+type Observer interface {
+	// BeginExperiment announces the grid: experiment id and point count.
+	BeginExperiment(id string, total int)
+	// PointStart fires when a worker picks up a point.
+	PointStart(worker, index int, label string)
+	// PointDone fires when a point finishes (events = simulator events
+	// executed across its seeds; failed = the point carries a contained
+	// failure). Resumed points report Done without a prior Start.
+	PointDone(worker, index int, events uint64, failed bool)
+}
+
+// RunExperimentPoolObserved is RunExperimentPool reporting per-point
+// lifecycle to obs (nil means no observation).
+func RunExperimentPoolObserved(e Experiment, dur time.Duration, seeds int, tel telemetry.Config, workers int, obs Observer) ([]Row, error) {
+	if obs != nil {
+		obs.BeginExperiment(e.ID, len(e.Points))
+	}
 	rows := make([]Row, len(e.Points))
-	err := ForEach(len(e.Points), workers, func(i int) (err error) {
+	err := ForEachW(len(e.Points), workers, func(w, i int) (err error) {
 		p := e.Points[i]
 		spec := pointSpec(p, dur, tel)
+		if obs != nil {
+			obs.PointStart(w, i, p.Label)
+			defer func() { obs.PointDone(w, i, rows[i].Events, err != nil) }()
+		}
 		defer func() {
 			if r := recover(); r != nil {
 				err = fmt.Errorf("repro %s/%s: panic: %v\nrepro: %s\n%s",
@@ -109,8 +141,10 @@ func pointSpec(p Point, dur time.Duration, tel telemetry.Config) core.Spec {
 // rowFromAggregate folds one point's multi-seed aggregate into a Row.
 func rowFromAggregate(p Point, agg *core.Aggregate) Row {
 	var jain float64
+	var events uint64
 	for _, run := range agg.Runs {
 		jain += run.Report.Fairness.Jain
+		events += run.Processed
 	}
 	jain /= float64(len(agg.Runs))
 	sample := agg.Runs[len(agg.Runs)-1]
@@ -132,6 +166,7 @@ func rowFromAggregate(p Point, agg *core.Aggregate) Row {
 		CPUUtil:      agg.CPUUtil.Mean(),
 		Jain:         jain,
 		PacingShare:  paceShare,
+		Events:       events,
 		Sample:       sample,
 		Profiled:     sample.Profile != nil,
 	}

@@ -113,6 +113,24 @@ func Percentile(xs []float64, p float64) float64 {
 // Median returns the 50th percentile of xs.
 func Median(xs []float64) float64 { return Percentile(xs, 50) }
 
+// CombinedCI95 returns the 95% CI half-width of a difference of two
+// independent means whose own CI half-widths are a and b (root sum of
+// squares). The regression differ uses it as the noise floor below which a
+// delta between two runs is not evidence of a real change.
+func CombinedCI95(a, b float64) float64 { return math.Sqrt(a*a + b*b) }
+
+// SignificantDelta reports whether the move from a to b clears both the
+// noise floor (the combined CI of the two means) and a relative threshold
+// rel of the baseline magnitude. With zero CIs (single-seed runs) only the
+// relative threshold applies.
+func SignificantDelta(a, b, ciA, ciB, rel float64) bool {
+	d := math.Abs(b - a)
+	if d <= CombinedCI95(ciA, ciB) {
+		return false
+	}
+	return d > rel*math.Abs(a)
+}
+
 // TimeWeighted accumulates a time-weighted average of a piecewise-constant
 // signal: call Observe(t, v) whenever the value changes; the average weights
 // each value by how long it was held.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -148,6 +149,97 @@ func (s HistogramSnapshot) Mean() float64 {
 	return s.Sum / float64(s.Count)
 }
 
+// Quantile approximates the q-quantile (0 ≤ q ≤ 1) from the buckets, the
+// same way Histogram.Quantile does: the upper bound of the bucket holding
+// the q-th sample, or the observed max for the overflow bucket.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return s.Max
+		}
+	}
+	return s.Max
+}
+
+// BoundsMismatchError reports an attempt to merge histograms with different
+// bucket layouts: summing their counts element-wise would silently corrupt
+// both distributions.
+type BoundsMismatchError struct {
+	// Name identifies the offending histogram when known ("" otherwise).
+	Name string
+	// Want and Got are the two incompatible bound sets.
+	Want, Got []float64
+}
+
+// Error implements error.
+func (e *BoundsMismatchError) Error() string {
+	if e.Name != "" {
+		return fmt.Sprintf("telemetry: histogram %q has bounds %v, cannot merge into bounds %v", e.Name, e.Got, e.Want)
+	}
+	return fmt.Sprintf("telemetry: cannot merge histogram bounds %v into %v", e.Got, e.Want)
+}
+
+// sameBounds reports whether two bound sets are element-wise identical.
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeHistogramSnapshots sums src into dst and returns the merged
+// snapshot. An empty dst (zero Count and nil Bounds) adopts src's bucket
+// layout; otherwise the bounds must match exactly or a *BoundsMismatchError
+// is returned and dst is unchanged. Neither input is mutated.
+func MergeHistogramSnapshots(dst, src HistogramSnapshot) (HistogramSnapshot, error) {
+	if src.Count == 0 && src.Bounds == nil {
+		return dst, nil
+	}
+	if dst.Count == 0 && dst.Bounds == nil {
+		out := src
+		out.Bounds = append([]float64(nil), src.Bounds...)
+		out.Counts = append([]uint64(nil), src.Counts...)
+		return out, nil
+	}
+	if !sameBounds(dst.Bounds, src.Bounds) {
+		return dst, &BoundsMismatchError{Want: dst.Bounds, Got: src.Bounds}
+	}
+	out := dst
+	out.Bounds = append([]float64(nil), dst.Bounds...)
+	out.Counts = append([]uint64(nil), dst.Counts...)
+	for i, c := range src.Counts {
+		out.Counts[i] += c
+	}
+	out.Count += src.Count
+	out.Sum += src.Sum
+	if src.Count > 0 {
+		if dst.Count == 0 || src.Min < out.Min {
+			out.Min = src.Min
+		}
+		if dst.Count == 0 || src.Max > out.Max {
+			out.Max = src.Max
+		}
+	}
+	return out, nil
+}
+
 // Registry holds named instruments. A nil *Registry is the disabled state:
 // instrument constructors return nil instruments whose methods no-op, so an
 // instrumented component holds nils end to end and pays only nil-checks.
@@ -265,16 +357,24 @@ func (s *Snapshot) Write(w io.Writer) error {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	for _, n := range names {
+	// A name registered as more than one instrument kind appears once per
+	// kind in names; dedupe so each kind renders exactly once, counter
+	// first, in a stable order.
+	for i, n := range names {
+		if i > 0 && n == names[i-1] {
+			continue
+		}
 		if v, ok := s.Counters[n]; ok {
 			if _, err := fmt.Fprintf(w, "%-40s %12d\n", n, v); err != nil {
 				return err
 			}
-		} else if v, ok := s.Gauges[n]; ok {
+		}
+		if v, ok := s.Gauges[n]; ok {
 			if _, err := fmt.Fprintf(w, "%-40s %12.3f\n", n, v); err != nil {
 				return err
 			}
-		} else if h, ok := s.Histograms[n]; ok {
+		}
+		if h, ok := s.Histograms[n]; ok {
 			if _, err := fmt.Fprintf(w, "%-40s n=%-10d mean=%-12.3f min=%-12.3f max=%.3f\n",
 				n, h.Count, h.Mean(), zeroIfInf(h.Min), zeroIfInf(h.Max)); err != nil {
 				return err
@@ -338,23 +438,43 @@ func NewConnMetrics(r *Registry, id int) *ConnMetrics {
 }
 
 // MergedHistogram sums every histogram whose name ends in suffix — the
-// cross-connection view of a per-connection instrument.
+// cross-connection view of a per-connection instrument. Histograms whose
+// bucket bounds differ from the first match are skipped rather than
+// corrupting the merged counts; use MergedHistogramChecked to learn how
+// many were skipped.
 func (s *Snapshot) MergedHistogram(suffix string) HistogramSnapshot {
+	out, _ := s.MergedHistogramChecked(suffix)
+	return out
+}
+
+// MergedHistogramChecked is MergedHistogram plus the number of matching
+// histograms that were skipped because their bucket bounds did not match
+// the first match's (merging mismatched layouts element-wise would corrupt
+// the distribution). Iteration over matches is in sorted-name order, so the
+// adopted layout — and therefore the result — is deterministic.
+func (s *Snapshot) MergedHistogramChecked(suffix string) (HistogramSnapshot, int) {
 	var out HistogramSnapshot
 	if s == nil {
-		return out
+		return out, 0
 	}
+	names := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		if strings.HasSuffix(name, suffix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	skipped := 0
 	out.Min = math.Inf(1)
 	out.Max = math.Inf(-1)
-	for name, h := range s.Histograms {
-		if !strings.HasSuffix(name, suffix) {
-			continue
-		}
+	for _, name := range names {
+		h := s.Histograms[name]
 		if out.Bounds == nil {
 			out.Bounds = append([]float64(nil), h.Bounds...)
 			out.Counts = make([]uint64, len(h.Counts))
 		}
-		if len(h.Counts) != len(out.Counts) {
+		if !sameBounds(h.Bounds, out.Bounds) || len(h.Counts) != len(out.Counts) {
+			skipped++
 			continue
 		}
 		for i, c := range h.Counts {
@@ -372,5 +492,38 @@ func (s *Snapshot) MergedHistogram(suffix string) HistogramSnapshot {
 	if out.Count == 0 {
 		out.Min, out.Max = 0, 0
 	}
-	return out
+	return out, skipped
+}
+
+// connPrefix matches the "conn<N>/" namespace NewConnMetrics registers
+// instruments under.
+var connPrefix = regexp.MustCompile(`^conn\d+/`)
+
+// HistogramDigest folds the per-connection histograms into one snapshot per
+// instrument, keyed by the instrument name with the "conn<N>/" prefix
+// stripped (non-connection histograms keep their full name). It returns
+// the digest and how many histograms were skipped due to mismatched bucket
+// bounds within a key. Keys merge in sorted-name order, so the result is
+// deterministic.
+func (s *Snapshot) HistogramDigest() (map[string]HistogramSnapshot, int) {
+	if s == nil || len(s.Histograms) == 0 {
+		return nil, 0
+	}
+	names := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make(map[string]HistogramSnapshot)
+	skipped := 0
+	for _, name := range names {
+		key := connPrefix.ReplaceAllString(name, "")
+		merged, err := MergeHistogramSnapshots(out[key], s.Histograms[name])
+		if err != nil {
+			skipped++
+			continue
+		}
+		out[key] = merged
+	}
+	return out, skipped
 }

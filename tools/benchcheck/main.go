@@ -53,6 +53,7 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "checked-in baseline JSON")
 	tolerance := flag.Float64("tolerance", 1.10, "fail when measured allocs/op exceed baseline × this")
 	nsTolerance := flag.Float64("ns-tolerance", 1.15, "fail when measured ns/op exceed baseline × this (baselines with ns_per_op only)")
+	verbose := flag.Bool("v", false, "print the baseline → measured delta table even when every gate passes")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*baselinePath)
@@ -142,8 +143,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchcheck: ok %s: %.0f ns/op (baseline %.0f)\n", name, got.ns, base.NsPerOp)
 		}
 	}
-	if failed {
+	if failed || *verbose {
 		printDeltaTable(os.Stderr, names, baselines, measured)
+	}
+	if failed {
 		os.Exit(1)
 	}
 }
