@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"mobbr/internal/apps"
 	"mobbr/internal/chaos"
 	"mobbr/internal/core"
 	"mobbr/internal/device"
@@ -49,6 +50,14 @@ func main() {
 		fixCwnd  = flag.Int("fixed-cwnd", 0, "pin cwnd in packets (0 = off)")
 		noModel  = flag.Bool("no-model", false, "disable the CC's per-ACK model (§5.1.1)")
 		hwPace   = flag.Bool("hw-pacing", false, "offload pacing timers to the NIC (§7.1.4)")
+		appKind  = flag.String("app", "", "application workload instead of bulk upload: reqrep, stream")
+		reqSize  = flag.String("req-size", "", "with -app reqrep: request size, e.g. 256KB")
+		respSize = flag.String("resp-size", "", "with -app: response/ack size, e.g. 4KB")
+		think    = flag.Duration("think", 0, "with -app reqrep: mean client think time between requests")
+		chunk    = flag.Duration("chunk", 0, "with -app stream: media seconds per chunk (default 120ms)")
+		ladder   = flag.String("ladder", "", "with -app stream: comma-separated ABR bitrate rungs, e.g. 1500Kbps,3Mbps,6Mbps")
+		startup  = flag.Int("startup", 0, "with -app stream: chunks buffered before playback starts")
+		downRate = flag.String("down-rate", "", "with -app: modeled downlink serialization rate, e.g. 100Mbps")
 		ival     = flag.Duration("interval", 0, "print iperf3-style interval reports (e.g. 1s)")
 		sndbuf   = flag.String("sndbuf", "", "per-socket send buffer, e.g. 1MB (default 256KB)")
 		tcRate   = flag.String("tc-rate", "", "router rate cap, e.g. 600Mbps")
@@ -198,6 +207,40 @@ func main() {
 		}
 		spec.SndBuf = n
 	}
+	if *appKind != "" {
+		wl := apps.Workload{Kind: strings.ToLower(*appKind), Think: *think, Chunk: *chunk, Startup: *startup}
+		if *reqSize != "" {
+			n, err := units.ParseDataSize(*reqSize)
+			if err != nil {
+				fatalf("bad -req-size: %v", err)
+			}
+			wl.ReqSize = n
+		}
+		if *respSize != "" {
+			n, err := units.ParseDataSize(*respSize)
+			if err != nil {
+				fatalf("bad -resp-size: %v", err)
+			}
+			wl.RespSize = n
+		}
+		if *ladder != "" {
+			for _, tok := range strings.Split(*ladder, ",") {
+				r, err := units.ParseBandwidth(strings.TrimSpace(tok))
+				if err != nil {
+					fatalf("bad -ladder rung %q: %v", tok, err)
+				}
+				wl.Ladder = append(wl.Ladder, r)
+			}
+		}
+		if *downRate != "" {
+			r, err := units.ParseBandwidth(*downRate)
+			if err != nil {
+				fatalf("bad -down-rate: %v", err)
+			}
+			wl.DownRate = r
+		}
+		spec.Workload = wl
+	}
 	if *ival > 0 && *seeds == 1 {
 		res, err := core.Run(func() core.Spec { s := spec; s.Interval = *ival; return s }())
 		if err != nil {
@@ -230,6 +273,21 @@ func main() {
 		fmt.Printf("  expected tx  %8.1f Mbps (skb×conns/idle)\n", agg.ExpectedTx.Mean()/1e6)
 	}
 	fmt.Printf("  peak sndbuf  %8.1f KB\n", agg.MaxBufOcc.Mean()/1024)
+	if a := agg.App; a != nil {
+		fmt.Printf("  app %-9s %8d ops", a.Kind, a.Completed)
+		if a.Canceled > 0 {
+			fmt.Printf("  (%d canceled)", a.Canceled)
+		}
+		fmt.Println()
+		if len(a.LatMs) > 0 {
+			fmt.Printf("  latency      %8.1f ms p50, %.1f p90, %.1f p99\n",
+				a.LatP(50), a.LatP(90), a.LatP(99))
+		}
+		if a.Kind == apps.KindStream {
+			fmt.Printf("  rebuffer     %8.2f %% (%d stalls)  avg level %.1f Mbps, %d switches\n",
+				a.RebufferRatio*100, a.Stalls, a.AvgLevelMbps, a.Switches)
+		}
+	}
 	last0 := agg.Runs[len(agg.Runs)-1].Report
 	if len(last0.PerConn) > 1 {
 		fmt.Printf("  jain index   %8.3f\n", last0.Fairness.Jain)

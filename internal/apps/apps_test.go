@@ -1,0 +1,165 @@
+package apps
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"mobbr/internal/cc"
+	"mobbr/internal/cc/cubic"
+	"mobbr/internal/cpumodel"
+	"mobbr/internal/iperf"
+	"mobbr/internal/netem"
+	"mobbr/internal/sim"
+	"mobbr/internal/units"
+)
+
+// runOnce executes one workload run on a rate-limited wired path.
+func runOnce(t *testing.T, seed int64, wl Workload, conns int, dur time.Duration) (*iperf.Report, *Stats) {
+	t.Helper()
+	eng := sim.New(seed)
+	cpu := cpumodel.NewCPU(eng, cpumodel.DefaultCosts(), 5e9)
+	path, err := netem.EthernetLAN(eng, netem.TC{Rate: 50 * units.Mbps, Delay: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("EthernetLAN: %v", err)
+	}
+	icfg := iperf.Config{
+		Conns:    conns,
+		Duration: dur,
+		CC:       func() cc.CongestionControl { return cubic.New() },
+	}
+	s, err := New(eng, cpu, path, icfg, wl)
+	if err != nil {
+		t.Fatalf("apps.New: %v", err)
+	}
+	return s.Run()
+}
+
+func TestReqRepCompletes(t *testing.T) {
+	rep, st := runOnce(t, 1, Workload{Kind: KindReqRep, Think: 5 * time.Millisecond}, 2, 2*time.Second)
+	if st.Kind != KindReqRep {
+		t.Fatalf("kind = %q", st.Kind)
+	}
+	if st.Completed == 0 {
+		t.Fatalf("no requests completed")
+	}
+	if int64(len(st.LatMs)) != st.Completed {
+		t.Fatalf("latency samples %d != completed %d", len(st.LatMs), st.Completed)
+	}
+	for i := 1; i < len(st.LatMs); i++ {
+		if st.LatMs[i] < st.LatMs[i-1] {
+			t.Fatalf("LatMs not sorted at %d", i)
+		}
+	}
+	// Each request uploads 256KB over a 50Mbps / ~20ms-RTT path: latency
+	// must be at least the serialization time plus one RTT (~60ms).
+	if p50 := st.LatP(50); p50 < 40 {
+		t.Errorf("p50 = %.1fms, implausibly low", p50)
+	}
+	if rep.Goodput <= 0 {
+		t.Errorf("transport goodput = %v, want > 0", rep.Goodput)
+	}
+}
+
+func TestStreamPlayout(t *testing.T) {
+	_, st := runOnce(t, 1, Workload{Kind: KindStream}, 1, 3*time.Second)
+	if st.Completed == 0 {
+		t.Fatalf("no chunks delivered")
+	}
+	if st.RebufferRatio < 0 || st.RebufferRatio > 1 {
+		t.Fatalf("rebuffer ratio %v out of [0,1]", st.RebufferRatio)
+	}
+	if st.PlayMs <= 0 {
+		t.Errorf("viewer never played (playMs=%v stallMs=%v)", st.PlayMs, st.StallMs)
+	}
+	if st.AvgLevelMbps <= 0 {
+		t.Errorf("avg ladder level = %v, want > 0", st.AvgLevelMbps)
+	}
+}
+
+// TestDeterminism pins the tentpole's contract: two runs with the same
+// seed produce identical transport reports and application stats, even
+// though the workload runs on real goroutines.
+func TestDeterminism(t *testing.T) {
+	for _, wl := range []Workload{
+		{Kind: KindReqRep, Think: 5 * time.Millisecond},
+		{Kind: KindStream},
+	} {
+		r1, s1 := runOnce(t, 42, wl, 2, 1500*time.Millisecond)
+		r2, s2 := runOnce(t, 42, wl, 2, 1500*time.Millisecond)
+		if !reflect.DeepEqual(r1, r2) {
+			t.Errorf("%s: transport reports differ between identical seeded runs", wl.Kind)
+		}
+		if !reflect.DeepEqual(s1, s2) {
+			t.Errorf("%s: app stats differ between identical seeded runs", wl.Kind)
+		}
+	}
+}
+
+func TestViewerPlayout(t *testing.T) {
+	v := &viewer{chunk: 100 * time.Millisecond, startup: 2}
+	ms100 := 100 * time.Millisecond
+	v.onChunk(1 * ms100) // buffered 1 chunk: not started
+	if v.started {
+		t.Fatalf("started before the startup threshold")
+	}
+	v.onChunk(2 * ms100) // second chunk: playout starts
+	if !v.started || !v.playing {
+		t.Fatalf("playout did not start at the startup threshold")
+	}
+	// Plays 200ms of buffer, then stalls 100ms with nothing delivered.
+	v.advance(5 * ms100)
+	if v.playMs != 200 || v.stallMs != 100 || v.stalls != 1 {
+		t.Fatalf("play=%v stall=%v stalls=%d, want 200/100/1", v.playMs, v.stallMs, v.stalls)
+	}
+	// A chunk at 600ms ends the stall and resumes playout.
+	v.onChunk(6 * ms100)
+	if !v.playing || v.stallMs != 200 {
+		t.Fatalf("resume failed: playing=%v stall=%v", v.playing, v.stallMs)
+	}
+	v.advance(7 * ms100)
+	if v.playMs != 300 || v.buf != 0 {
+		t.Fatalf("after resume: play=%v buf=%v, want 300/0", v.playMs, v.buf)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &Stats{Kind: KindStream, Completed: 2, LatMs: []float64{3, 1}, PlayMs: 80, StallMs: 20, AvgLevelMbps: 6}
+	b := &Stats{Kind: KindStream, Completed: 2, LatMs: []float64{2}, Canceled: 1, PlayMs: 100, AvgLevelMbps: 12}
+	m := Merge([]*Stats{a, nil, b})
+	if m.Completed != 4 || m.Canceled != 1 {
+		t.Fatalf("counts: %+v", m)
+	}
+	if !reflect.DeepEqual(m.LatMs, []float64{1, 2, 3}) {
+		t.Fatalf("merged latencies not re-sorted: %v", m.LatMs)
+	}
+	if m.RebufferRatio != 0.1 {
+		t.Fatalf("rebuffer ratio %v, want 0.1", m.RebufferRatio)
+	}
+	if m.AvgLevelMbps != 9 {
+		t.Fatalf("avg level %v, want 9 (completed-weighted)", m.AvgLevelMbps)
+	}
+	if Merge([]*Stats{nil, nil}) != nil {
+		t.Fatalf("Merge of all-nil runs should be nil")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Workload{
+		{Kind: "ftp"},
+		{Kind: KindReqRep, Think: -time.Second},
+		{Kind: KindStream, Ladder: []units.Bandwidth{6 * units.Mbps, 3 * units.Mbps}},
+		{Kind: KindStream, Ladder: []units.Bandwidth{0}},
+	}
+	for _, wl := range bad {
+		if wl.Validate() == nil {
+			t.Errorf("Validate(%+v) accepted a malformed workload", wl)
+		}
+	}
+	if err := (Workload{Kind: KindReqRep}).WithDefaults().Validate(); err != nil {
+		t.Errorf("default reqrep workload rejected: %v", err)
+	}
+	if err := (Workload{Kind: KindStream}).WithDefaults().Validate(); err != nil {
+		t.Errorf("default stream workload rejected: %v", err)
+	}
+}

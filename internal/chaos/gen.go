@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"mobbr/internal/apps"
 	"mobbr/internal/core"
 	"mobbr/internal/device"
 	"mobbr/internal/faults"
@@ -78,7 +79,49 @@ func Generate(seed int64) core.Spec {
 	case r < 0.65:
 		spec.Mobility = genMobility(rng, dur)
 	}
+	// App workloads ride last so every earlier draw — and therefore every
+	// historical generator seed's spec prefix — is unchanged.
+	if rng.Float64() < 0.25 {
+		spec.Workload = genWorkload(rng)
+	}
 	return spec
+}
+
+// genWorkload draws a request/response or chunked-streaming workload. All
+// values sit inside apps.Workload.Validate's bounds, and sizes stay small
+// enough that short chaos runs still complete operations.
+func genWorkload(rng *rand.Rand) apps.Workload {
+	if rng.Intn(2) == 0 {
+		wl := apps.Workload{
+			Kind:    apps.KindReqRep,
+			ReqSize: units.KB * units.DataSize(1+rng.Intn(64)),
+		}
+		if rng.Float64() < 0.5 {
+			wl.RespSize = 128 + units.DataSize(rng.Intn(8*1024-127))
+		}
+		if rng.Float64() < 0.5 {
+			wl.Think = time.Duration(rng.Intn(101)) * time.Millisecond
+		}
+		return wl
+	}
+	wl := apps.Workload{
+		Kind:  apps.KindStream,
+		Chunk: genMs(rng, 100, 300),
+	}
+	if rng.Float64() < 0.5 {
+		// A strictly ascending sub-ladder of the default rungs.
+		full := apps.DefaultLadder()
+		lo := rng.Intn(len(full) - 1)
+		hi := lo + 1 + rng.Intn(len(full)-lo-1)
+		wl.Ladder = full[lo : hi+1]
+	}
+	if rng.Float64() < 0.3 {
+		wl.Startup = 1 + rng.Intn(4)
+	}
+	if rng.Float64() < 0.3 {
+		wl.DownRate = genMbps(rng, 10, 200)
+	}
+	return wl
 }
 
 func genMbps(rng *rand.Rand, lo, hi int) units.Bandwidth {

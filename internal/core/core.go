@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"mobbr/internal/apps"
 	"mobbr/internal/cc"
 	"mobbr/internal/cc/bbr"
 	"mobbr/internal/cc/bbrv2"
@@ -108,6 +109,12 @@ type Spec struct {
 	// High-BDP paths (the 5G scenario) need more, as Android's wmem
 	// auto-tuning would provide.
 	SndBuf units.DataSize
+	// Workload selects the application driving each connection. The zero
+	// value (empty Kind) is the paper's iPerf bulk upload; "reqrep" and
+	// "stream" run closed-loop request/response and chunked live-upload
+	// clients over the simnet facade, reporting per-operation latency
+	// quantiles and rebuffer ratios in Result.App.
+	Workload apps.Workload
 	// Seed drives all randomness; runs are fully deterministic per seed.
 	Seed int64
 	// Faults is the fault-injection schedule applied to the path while
@@ -262,6 +269,9 @@ func (s Spec) Validate() error {
 	if err := s.TC.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
+	if err := s.Workload.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	if err := s.Inject.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
@@ -316,6 +326,10 @@ type Result struct {
 	// always recorded, so grid runners can report throughput and archives
 	// can carry engine totals without enabling telemetry.
 	Processed uint64
+	// App is the application-level outcome when Spec.Workload selected a
+	// workload (nil for bulk runs): request/chunk latency samples,
+	// completion counts, and viewer rebuffer accounting.
+	App *apps.Stats
 }
 
 // Run executes one experiment. It validates the spec, enforces the event
@@ -482,7 +496,18 @@ func Run(spec Spec) (*Result, error) {
 	} else {
 		icfg.CCMix = factories
 	}
-	sess, err := iperf.New(eng, cpu, path, icfg)
+	var (
+		sess  *iperf.Session
+		asess *apps.Session
+	)
+	if spec.Workload.Kind != "" {
+		asess, err = apps.New(eng, cpu, path, icfg, spec.Workload)
+		if err == nil {
+			sess = asess.Iperf()
+		}
+	} else {
+		sess, err = iperf.New(eng, cpu, path, icfg)
+	}
 	if err != nil {
 		return nil, fail(fmt.Errorf("core: %w", err))
 	}
@@ -523,7 +548,15 @@ func Run(spec Spec) (*Result, error) {
 	if tel.Metrics {
 		coll = telemetry.StartEngineCollector(eng)
 	}
-	report := sess.Run()
+	var (
+		report   *iperf.Report
+		appStats *apps.Stats
+	)
+	if asess != nil {
+		report, appStats = asess.Run()
+	} else {
+		report = sess.Run()
+	}
 	if lerr := eng.LimitErr(); lerr != nil {
 		return nil, fail(fmt.Errorf("core: %s seed=%d: %w", spec, spec.Seed, lerr))
 	}
@@ -543,6 +576,7 @@ func Run(spec Spec) (*Result, error) {
 		Profile:   prof,
 		Engine:    coll.Stop(),
 		Processed: eng.Processed(),
+		App:       appStats,
 	}, nil
 }
 
@@ -560,6 +594,10 @@ type Aggregate struct {
 	MaxBufOcc   stats.Online
 	CPUUtil     stats.Online
 	Runs        []*Result
+	// App folds the per-seed application stats (nil for bulk runs):
+	// latency samples are pooled across seeds so grid quantiles have
+	// every completed operation behind them.
+	App *apps.Stats
 }
 
 // GoodputMbps returns the mean aggregate goodput in Mbps.
@@ -592,5 +630,10 @@ func RunSeeds(spec Spec, n int) (*Aggregate, error) {
 		agg.CPUUtil.Add(r.CPUUtil)
 		agg.Runs = append(agg.Runs, res)
 	}
+	appRuns := make([]*apps.Stats, 0, len(agg.Runs))
+	for _, res := range agg.Runs {
+		appRuns = append(appRuns, res.App)
+	}
+	agg.App = apps.Merge(appRuns)
 	return agg, nil
 }

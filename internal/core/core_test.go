@@ -1,9 +1,11 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
+	"mobbr/internal/apps"
 	"mobbr/internal/device"
 	"mobbr/internal/netem"
 	"mobbr/internal/units"
@@ -298,5 +300,81 @@ func TestECNReducesRetransmits(t *testing.T) {
 	}
 	if float64(ecn.Report.Goodput) < float64(plain.Report.Goodput)*0.9 {
 		t.Errorf("ECN goodput %v fell below drop-only %v", ecn.Report.Goodput, plain.Report.Goodput)
+	}
+}
+
+// TestWorkloadRunEndToEnd: an app workload spec runs through the full core
+// pipeline — checker armed, pool on — and reports application stats with a
+// deterministic outcome per seed.
+func TestWorkloadRunEndToEnd(t *testing.T) {
+	for _, wl := range []apps.Workload{
+		{Kind: apps.KindReqRep, ReqSize: 64 * units.KB, Think: 10 * time.Millisecond},
+		{Kind: apps.KindStream},
+	} {
+		spec := short(Spec{
+			Device:   device.Pixel4,
+			CC:       "bbr",
+			Conns:    2,
+			TC:       netem.TC{Rate: 40 * units.Mbps, Delay: 5 * time.Millisecond},
+			Check:    true,
+			Seed:     11,
+			Workload: wl,
+		})
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", wl.Kind, err)
+		}
+		if res.App == nil {
+			t.Fatalf("%s: Result.App is nil for a workload spec", wl.Kind)
+		}
+		if res.App.Completed == 0 {
+			t.Fatalf("%s: no operations completed", wl.Kind)
+		}
+		if res.App.LatP(99) <= 0 {
+			t.Errorf("%s: p99 latency %v, want > 0", wl.Kind, res.App.LatP(99))
+		}
+		again, err := Run(spec)
+		if err != nil {
+			t.Fatalf("%s rerun: %v", wl.Kind, err)
+		}
+		if !reflect.DeepEqual(res.App, again.App) {
+			t.Errorf("%s: app stats differ across identical runs", wl.Kind)
+		}
+		if !reflect.DeepEqual(res.Report, again.Report) {
+			t.Errorf("%s: transport reports differ across identical runs", wl.Kind)
+		}
+	}
+
+	// Bulk specs keep App nil.
+	res, err := Run(short(Spec{CC: "cubic", Conns: 1, Seed: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.App != nil {
+		t.Error("bulk run populated Result.App")
+	}
+}
+
+// TestWorkloadAggregate: RunSeeds pools latency samples across seeds.
+func TestWorkloadAggregate(t *testing.T) {
+	spec := short(Spec{CC: "cubic", Conns: 1, Seed: 1,
+		TC:       netem.TC{Rate: 40 * units.Mbps, Delay: 5 * time.Millisecond},
+		Workload: apps.Workload{Kind: apps.KindReqRep, ReqSize: 64 * units.KB, Think: 10 * time.Millisecond}})
+	agg, err := RunSeeds(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.App == nil {
+		t.Fatal("Aggregate.App nil for a workload grid point")
+	}
+	var want int64
+	for _, res := range agg.Runs {
+		want += res.App.Completed
+	}
+	if agg.App.Completed != want {
+		t.Fatalf("aggregate completed %d, want %d", agg.App.Completed, want)
+	}
+	if int64(len(agg.App.LatMs)) != want {
+		t.Fatalf("pooled %d latency samples, want %d", len(agg.App.LatMs), want)
 	}
 }

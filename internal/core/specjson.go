@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"mobbr/internal/apps"
 	"mobbr/internal/device"
 	"mobbr/internal/faults"
 	"mobbr/internal/mobility"
@@ -198,6 +199,20 @@ type injectWire struct {
 	At   jdur   `json:"at,omitempty"`
 }
 
+// workloadWire mirrors apps.Workload. Absent from the wire (nil pointer)
+// means the iperf bulk default, so every pre-workload corpus entry and
+// journal replays unchanged.
+type workloadWire struct {
+	Kind      string  `json:"kind"`
+	ReqBytes  int64   `json:"req_bytes,omitempty"`
+	RespBytes int64   `json:"resp_bytes,omitempty"`
+	Think     jdur    `json:"think,omitempty"`
+	Chunk     jdur    `json:"chunk,omitempty"`
+	LadderBps []int64 `json:"ladder_bps,omitempty"`
+	Startup   int     `json:"startup,omitempty"`
+	DownBps   int64   `json:"down_rate_bps,omitempty"`
+}
+
 // telemetryWire mirrors telemetry.Config.
 type telemetryWire struct {
 	Trace     bool `json:"trace,omitempty"`
@@ -234,6 +249,7 @@ type specWire struct {
 	MaxStall        uint64         `json:"max_stall,omitempty"`
 	Inject          *injectWire    `json:"inject,omitempty"`
 	Telemetry       *telemetryWire `json:"telemetry,omitempty"`
+	Workload        *workloadWire  `json:"workload,omitempty"`
 }
 
 // EncodeSpec renders the spec as compact, round-trippable JSON.
@@ -307,6 +323,21 @@ func EncodeSpec(s Spec) ([]byte, error) {
 			Trace: s.Telemetry.Trace, Metrics: s.Telemetry.Metrics,
 			Profile: s.Telemetry.Profile, MaxEvents: s.Telemetry.MaxEvents,
 		}
+	}
+	if s.Workload.Kind != "" {
+		ww := workloadWire{
+			Kind:      s.Workload.Kind,
+			ReqBytes:  int64(s.Workload.ReqSize),
+			RespBytes: int64(s.Workload.RespSize),
+			Think:     jdur(s.Workload.Think),
+			Chunk:     jdur(s.Workload.Chunk),
+			Startup:   s.Workload.Startup,
+			DownBps:   int64(s.Workload.DownRate),
+		}
+		for _, r := range s.Workload.Ladder {
+			ww.LadderBps = append(ww.LadderBps, int64(r))
+		}
+		w.Workload = &ww
 	}
 	return json.Marshal(w)
 }
@@ -400,6 +431,20 @@ func DecodeSpec(data []byte) (Spec, error) {
 		s.Telemetry = telemetry.Config{
 			Trace: w.Telemetry.Trace, Metrics: w.Telemetry.Metrics,
 			Profile: w.Telemetry.Profile, MaxEvents: w.Telemetry.MaxEvents,
+		}
+	}
+	if w.Workload != nil {
+		s.Workload = apps.Workload{
+			Kind:     w.Workload.Kind,
+			ReqSize:  units.DataSize(w.Workload.ReqBytes),
+			RespSize: units.DataSize(w.Workload.RespBytes),
+			Think:    time.Duration(w.Workload.Think),
+			Chunk:    time.Duration(w.Workload.Chunk),
+			Startup:  w.Workload.Startup,
+			DownRate: units.Bandwidth(w.Workload.DownBps),
+		}
+		for _, r := range w.Workload.LadderBps {
+			s.Workload.Ladder = append(s.Workload.Ladder, units.Bandwidth(r))
 		}
 	}
 	return s, nil

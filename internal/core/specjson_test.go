@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"mobbr/internal/apps"
 	"mobbr/internal/device"
 	"mobbr/internal/faults"
 	"mobbr/internal/mobility"
@@ -68,6 +69,52 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 	}
 	if string(again) != string(data) {
 		t.Fatalf("re-encode diverged:\n first  %s\n second %s", data, again)
+	}
+}
+
+// TestSpecJSONWorkloadRoundTrip proves both app workload kinds survive
+// encode → decode with every field, and that a spec without a workload
+// block decodes to the iperf default — old corpus entries and journals
+// replay unchanged.
+func TestSpecJSONWorkloadRoundTrip(t *testing.T) {
+	for _, wl := range []apps.Workload{
+		{Kind: apps.KindReqRep, ReqSize: 48 * units.KB, RespSize: 2 * units.KB, Think: 25 * time.Millisecond},
+		{Kind: apps.KindStream, Chunk: 200 * time.Millisecond,
+			Ladder:  []units.Bandwidth{2 * units.Mbps, 8 * units.Mbps},
+			Startup: 3, RespSize: 256, DownRate: 40 * units.Mbps},
+	} {
+		spec := Spec{Device: device.Pixel4, CPU: device.LowEnd, CC: "bbr", Conns: 2,
+			Network: Ethernet, Seed: 5, Workload: wl}
+		data, err := EncodeSpec(spec)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", wl.Kind, err)
+		}
+		got, err := DecodeSpec(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", wl.Kind, err)
+		}
+		if !reflect.DeepEqual(got, spec) {
+			t.Fatalf("%s: round trip diverged:\n got  %+v\n want %+v", wl.Kind, got, spec)
+		}
+	}
+
+	// Back-compat: a pre-workload wire form (no "workload" key) must decode
+	// to the zero Workload, i.e. the bulk iperf upload.
+	legacy := `{"device":"pixel4","cpu":"low","cc":"bbr","conns":1,"network":"ethernet","seed":3}`
+	got, err := DecodeSpec([]byte(legacy))
+	if err != nil {
+		t.Fatalf("legacy spec rejected: %v", err)
+	}
+	if got.Workload.Kind != "" {
+		t.Fatalf("legacy spec decoded with workload %q, want bulk default", got.Workload.Kind)
+	}
+	// And a bulk spec must not emit the key at all (byte-stable archives).
+	data, err := EncodeSpec(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "workload") {
+		t.Fatalf("bulk spec encodes a workload block: %s", data)
 	}
 }
 

@@ -40,6 +40,12 @@ type Config struct {
 	// CCMix[i%len(CCMix)], enabling mixed-protocol coexistence
 	// experiments (e.g. BBR vs Cubic sharing a bottleneck).
 	CCMix []cc.Factory
+	// Stream builds every connection in stream-source mode: no bulk
+	// source runs; an application layer (internal/apps over simnet)
+	// pushes bytes with StreamWrite instead. The harness — staggered
+	// starts, sampling, intervals, warmup, reclaim, Collect — is shared
+	// unchanged, making iperf's bulk upload just one workload behind it.
+	Stream bool
 	// AppCPU, when set, is the application core charged the per-byte
 	// sendmsg copy (see device.NewCPUs). nil skips the copy cost.
 	AppCPU *cpumodel.CPU
@@ -139,6 +145,9 @@ func New(eng *sim.Engine, cpu *cpumodel.CPU, path *netem.Path, cfg Config) (*Ses
 		}
 		conn := tcp.NewConn(i, eng, cpu, path, tcfg, factory)
 		conn.SetPool(cfg.Pool)
+		if cfg.Stream {
+			conn.SetStream()
+		}
 		if cfg.AppCPU != nil {
 			conn.SetAppCPU(cfg.AppCPU)
 		}
@@ -156,6 +165,10 @@ func New(eng *sim.Engine, cpu *cpumodel.CPU, path *netem.Path, cfg Config) (*Ses
 
 // Conns returns the session's connections (for experiment-specific probes).
 func (s *Session) Conns() []*tcp.Conn { return s.conns }
+
+// Receivers returns the per-connection server-side receivers, index-aligned
+// with Conns (the apps layer wraps each pair into a virtual socket).
+func (s *Session) Receivers() []*tcp.Receiver { return s.rxs }
 
 // Start begins transmission and metric sampling.
 func (s *Session) Start() {
@@ -223,6 +236,15 @@ func (s *Session) totalGoodBytes() units.DataSize {
 func (s *Session) Run() *Report {
 	s.Start()
 	s.eng.Run(s.cfg.Duration)
+	return s.Finish()
+}
+
+// Finish stops the connections, reclaims pooled objects parked past the
+// run horizon, and collects the report. Callers that interleave their own
+// teardown between the engine run and collection (the apps workloads shut
+// their virtual sockets down first) drive Start / eng.Run / Finish
+// themselves instead of Run.
+func (s *Session) Finish() *Report {
 	for _, c := range s.conns {
 		c.Stop()
 	}

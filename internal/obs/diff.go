@@ -53,6 +53,11 @@ type Delta struct {
 	// PaceA/PaceB are mean pacing-timer shares (profiled points only).
 	PaceA, PaceB float64
 	HasPace      bool
+	// LatA/LatB are mean request-latency p99s in ms (app-workload points
+	// only) — displayed for context, never gating: latency quantiles lack
+	// per-point CIs, so thresholding them would gate on seed noise.
+	LatA, LatB float64
+	HasApp     bool
 	// SpecDrift counts aligned points whose archived spec bytes differ
 	// (e.g. a deliberately perturbed knob) — informational, not gating.
 	SpecDrift int
@@ -190,6 +195,7 @@ type cellAcc struct {
 	ciA, ciB         []float64
 	retxA, retxB     []float64
 	paceA, paceB     []float64
+	latA, latB       []float64
 }
 
 func (c *cellAcc) add(pr pair) {
@@ -215,6 +221,10 @@ func (c *cellAcc) add(pr pair) {
 	if pr.a.Metrics.Profiled && pr.b.Metrics.Profiled {
 		c.paceA = append(c.paceA, pr.a.Metrics.PacingShare)
 		c.paceB = append(c.paceB, pr.b.Metrics.PacingShare)
+	}
+	if pr.a.Metrics.AppKind != "" && pr.b.Metrics.AppKind != "" {
+		c.latA = append(c.latA, pr.a.Metrics.LatP99ms)
+		c.latB = append(c.latB, pr.b.Metrics.LatP99ms)
 	}
 }
 
@@ -244,6 +254,10 @@ func (c *cellAcc) delta(exp string, cell Cell, opts DiffOpts) Delta {
 		d.HasPace = true
 		d.PaceA, d.PaceB = stats.Mean(c.paceA), stats.Mean(c.paceB)
 	}
+	if len(c.latA) > 0 {
+		d.HasApp = true
+		d.LatA, d.LatB = stats.Mean(c.latA), stats.Mean(c.latB)
+	}
 	d.FailureRegressed = c.failedB > c.failedA
 	if len(c.goodA) > 0 {
 		if stats.SignificantDelta(d.GoodA, d.GoodB, ciA, ciB, opts.Rel) {
@@ -271,8 +285,8 @@ func WriteDeltas(w io.Writer, deltas []Delta) error {
 	if len(deltas) == 0 {
 		return nil
 	}
-	fmt.Fprintf(w, "%-10s %-32s %4s %22s %8s %16s %14s %s\n",
-		"exp", "cell", "pts", "goodput Mbps (A→B)", "Δ%", "retx (A→B)", "pace% (A→B)", "verdict")
+	fmt.Fprintf(w, "%-10s %-32s %4s %22s %8s %16s %14s %18s %s\n",
+		"exp", "cell", "pts", "goodput Mbps (A→B)", "Δ%", "retx (A→B)", "pace% (A→B)", "req p99 ms (A→B)", "verdict")
 	for i := range deltas {
 		d := &deltas[i]
 		pct := "-"
@@ -282,6 +296,10 @@ func WriteDeltas(w io.Writer, deltas []Delta) error {
 		pace := "-"
 		if d.HasPace {
 			pace = fmt.Sprintf("%.1f → %.1f", d.PaceA*100, d.PaceB*100)
+		}
+		lat := "-"
+		if d.HasApp {
+			lat = fmt.Sprintf("%.1f → %.1f", d.LatA, d.LatB)
 		}
 		verdict := "ok"
 		switch {
@@ -300,8 +318,8 @@ func WriteDeltas(w io.Writer, deltas []Delta) error {
 		if d.SpecDrift > 0 {
 			extra = fmt.Sprintf("  [spec drift on %d point(s)]", d.SpecDrift)
 		}
-		fmt.Fprintf(w, "%-10s %-32s %4d %10.1f → %-10.1f %8s %7.0f → %-7.0f %14s %s%s\n",
-			d.Exp, d.Cell, d.Points, d.GoodA, d.GoodB, pct, d.RetxA, d.RetxB, pace, verdict, extra)
+		fmt.Fprintf(w, "%-10s %-32s %4d %10.1f → %-10.1f %8s %7.0f → %-7.0f %14s %18s %s%s\n",
+			d.Exp, d.Cell, d.Points, d.GoodA, d.GoodB, pct, d.RetxA, d.RetxB, pace, lat, verdict, extra)
 	}
 	return nil
 }

@@ -92,6 +92,15 @@ type Metrics struct {
 	Jain         float64 `json:"jain,omitempty"`
 	PacingShare  float64 `json:"pacing_share,omitempty"`
 	Profiled     bool    `json:"profiled,omitempty"`
+	// AppKind through RebufferPct are the application-workload grid's
+	// metrics ("apps"): completed operations, request-latency percentiles
+	// and the streaming rebuffer share. Bulk points omit them all.
+	AppKind     string  `json:"app_kind,omitempty"`
+	Requests    int64   `json:"requests,omitempty"`
+	LatP50ms    float64 `json:"lat_p50_ms,omitempty"`
+	LatP90ms    float64 `json:"lat_p90_ms,omitempty"`
+	LatP99ms    float64 `json:"lat_p99_ms,omitempty"`
+	RebufferPct float64 `json:"rebuffer_pct,omitempty"`
 	// RecoveryMs / RecoveryCI / Recovered are the recovery experiment's
 	// metrics.
 	RecoveryMs float64 `json:"recovery_ms,omitempty"`

@@ -71,6 +71,10 @@ type CellRollup struct {
 	RTTs     []float64
 	// Paces holds pacing-timer shares of profiled points only.
 	Paces []float64
+	// LatP99s / Rebufs hold per-point request-latency p99s (ms) and
+	// rebuffer shares (%) of app-workload points only.
+	LatP99s []float64
+	Rebufs  []float64
 	// GoodputCIs mirrors Goodputs with each point's own 95% CI.
 	GoodputCIs []float64
 	// Digest is the cell-wide merge of the points' instrument digests.
@@ -107,6 +111,10 @@ func Rollup(r *Run) []CellRollup {
 		if p.Metrics.Profiled {
 			cr.Paces = append(cr.Paces, p.Metrics.PacingShare)
 		}
+		if p.Metrics.AppKind != "" {
+			cr.LatP99s = append(cr.LatP99s, p.Metrics.LatP99ms)
+			cr.Rebufs = append(cr.Rebufs, p.Metrics.RebufferPct)
+		}
 		cr.DigestSkipped += p.DigestSkipped
 		digestNames := make([]string, 0, len(p.Digest))
 		for name := range p.Digest {
@@ -133,23 +141,30 @@ func Rollup(r *Run) []CellRollup {
 // WriteRollup renders the per-cell summary table: goodput percentiles
 // across the cell's grid points, mean retransmissions, mean pacing share
 // (profiled points only), and — when digests are present — the merged
-// pacing-timer slip p99.
+// pacing-timer slip p99. Cells holding app-workload points additionally
+// render the mean request-latency p99 and rebuffer share.
 func WriteRollup(w io.Writer, r *Run, cells []CellRollup) error {
 	if _, err := fmt.Fprintf(w, "== rollup %s: %d points, %d cells (seeds=%d dur=%s)\n",
 		r.Manifest.Exp, r.Manifest.Points, len(cells), r.Manifest.Seeds, r.Manifest.Dur); err != nil {
 		return err
 	}
 	hasDigest := false
+	hasApp := false
 	for i := range cells {
 		if len(cells[i].Digest) > 0 {
 			hasDigest = true
-			break
+		}
+		if len(cells[i].LatP99s) > 0 {
+			hasApp = true
 		}
 	}
 	fmt.Fprintf(w, "%-32s %4s %4s %9s %9s %9s %9s %7s", "cell", "pts", "fail",
 		"gput p50", "p90", "p99", "retx", "pace%")
 	if hasDigest {
 		fmt.Fprintf(w, " %12s", "slip p99 µs")
+	}
+	if hasApp {
+		fmt.Fprintf(w, " %10s %6s", "req p99 ms", "rbuf%")
 	}
 	fmt.Fprintln(w)
 	for i := range cells {
@@ -168,6 +183,14 @@ func WriteRollup(w io.Writer, r *Run, cells []CellRollup) error {
 				slip = fmt.Sprintf("%.0f", h.Quantile(0.99))
 			}
 			fmt.Fprintf(w, " %12s", slip)
+		}
+		if hasApp {
+			lat, rbuf := "-", "-"
+			if len(c.LatP99s) > 0 {
+				lat = fmt.Sprintf("%.1f", stats.Mean(c.LatP99s))
+				rbuf = fmt.Sprintf("%.2f", stats.Mean(c.Rebufs))
+			}
+			fmt.Fprintf(w, " %10s %6s", lat, rbuf)
 		}
 		if c.DigestSkipped > 0 {
 			fmt.Fprintf(w, "  (%d digest histograms skipped: mismatched bounds)", c.DigestSkipped)

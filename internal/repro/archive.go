@@ -88,6 +88,12 @@ func BuildExperimentRun(e Experiment, rows []Row, o ArchiveOpts) (*obs.Run, erro
 				Jain:         r.Jain,
 				PacingShare:  r.PacingShare,
 				Profiled:     r.Profiled,
+				AppKind:      r.AppKind,
+				Requests:     r.Requests,
+				LatP50ms:     r.LatP50ms,
+				LatP90ms:     r.LatP90ms,
+				LatP99ms:     r.LatP99ms,
+				RebufferPct:  r.RebufferPct,
 			}
 		}
 		if r.Sample != nil {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"time"
 
+	"mobbr/internal/apps"
 	"mobbr/internal/core"
 	"mobbr/internal/device"
 	"mobbr/internal/netem"
@@ -320,6 +321,59 @@ func Memory() Experiment {
 	return Experiment{ID: "memory", Title: "Memory use across strides (§7.1.1)", Points: pts}
 }
 
+// Apps is the application-workload grid: instead of bulk iperf uploads,
+// every point drives an application over the virtual-time net.Conn facade
+// (internal/simnet + internal/apps) — closed-loop request/response clients
+// and an ABR-video-like chunked stream — and reports request-latency
+// quantiles and rebuffering alongside goodput. The paper measures bulk
+// transfer; this grid asks the follow-up question its §6 CPU findings
+// raise: what do BBR's pacing costs do to application-level latency on
+// weak cores, and does the stride mitigation help there too?
+func Apps() Experiment {
+	appConns := 6
+	var pts []Point
+	// Request/response across the CPU extremes and both CCs.
+	for _, cfg := range []device.Config{device.LowEnd, device.Default} {
+		for _, cc := range []string{"cubic", "bbr"} {
+			s := baseSpec(cfg, cc, appConns)
+			s.Workload = apps.Workload{Kind: apps.KindReqRep}
+			pts = append(pts, Point{
+				Label: fmt.Sprintf("reqrep %s/%s", cfg, cc),
+				Spec:  s,
+			})
+		}
+	}
+	// Request p99 vs pacing stride on Low-End bbr: the §6.2 stride
+	// mitigation viewed through application latency (EXPERIMENTS.md table).
+	for _, st := range []float64{5, 10, 20} {
+		s := baseSpec(device.LowEnd, "bbr", appConns)
+		s.Stride = st
+		s.Workload = apps.Workload{Kind: apps.KindReqRep}
+		pts = append(pts, Point{
+			Label: fmt.Sprintf("reqrep Low-End/bbr %gx", st),
+			Spec:  s,
+		})
+	}
+	// Chunked streaming: same CPU×CC square plus the stride mitigation.
+	for _, cfg := range []device.Config{device.LowEnd, device.Default} {
+		for _, cc := range []string{"cubic", "bbr"} {
+			s := baseSpec(cfg, cc, appConns)
+			s.Workload = apps.Workload{Kind: apps.KindStream}
+			pts = append(pts, Point{
+				Label: fmt.Sprintf("stream %s/%s", cfg, cc),
+				Spec:  s,
+			})
+		}
+	}
+	{
+		s := baseSpec(device.LowEnd, "bbr", appConns)
+		s.Stride = 10
+		s.Workload = apps.Workload{Kind: apps.KindStream}
+		pts = append(pts, Point{Label: "stream Low-End/bbr 10x", Spec: s})
+	}
+	return Experiment{ID: "apps", Title: "Application workloads over simnet: request latency and rebuffering", Points: pts}
+}
+
 // All returns every experiment in paper order.
 func All() []Experiment {
 	return []Experiment{
@@ -327,7 +381,7 @@ func All() []Experiment {
 		Figure4(), Figure5(), Figure6(), Figure7(), ShallowBuffer(),
 		Figure8(), Table2(), Figure9(), Memory(),
 		// Extensions beyond the paper's evaluation (§7 open questions).
-		FairnessVsStride(), HardwarePacing(), FiveG(), ECN(),
+		FairnessVsStride(), HardwarePacing(), FiveG(), ECN(), Apps(),
 	}
 }
 

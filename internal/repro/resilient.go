@@ -269,6 +269,12 @@ type journalEntry struct {
 	CPUUtil      float64  `json:"cpu_util"`
 	Jain         float64  `json:"jain"`
 	PacingShare  float64  `json:"pacing_share"`
+	AppKind      string   `json:"app_kind,omitempty"`
+	Requests     int64    `json:"requests,omitempty"`
+	LatP50ms     float64  `json:"lat_p50_ms,omitempty"`
+	LatP90ms     float64  `json:"lat_p90_ms,omitempty"`
+	LatP99ms     float64  `json:"lat_p99_ms,omitempty"`
+	RebufferPct  float64  `json:"rebuffer_pct,omitempty"`
 	Events       uint64   `json:"events,omitempty"`
 	Profiled     bool     `json:"profiled,omitempty"`
 	Failure      *Failure `json:"failure,omitempty"`
@@ -290,6 +296,12 @@ func entryFromRow(i int, r Row) journalEntry {
 		CPUUtil:      r.CPUUtil,
 		Jain:         r.Jain,
 		PacingShare:  r.PacingShare,
+		AppKind:      r.AppKind,
+		Requests:     r.Requests,
+		LatP50ms:     r.LatP50ms,
+		LatP90ms:     r.LatP90ms,
+		LatP99ms:     r.LatP99ms,
+		RebufferPct:  r.RebufferPct,
 		Events:       r.Events,
 		Profiled:     r.Profiled,
 		Failure:      r.Failure,
@@ -313,6 +325,12 @@ func (ent journalEntry) row(p Point) Row {
 		CPUUtil:      ent.CPUUtil,
 		Jain:         ent.Jain,
 		PacingShare:  ent.PacingShare,
+		AppKind:      ent.AppKind,
+		Requests:     ent.Requests,
+		LatP50ms:     ent.LatP50ms,
+		LatP90ms:     ent.LatP90ms,
+		LatP99ms:     ent.LatP99ms,
+		RebufferPct:  ent.RebufferPct,
 		Events:       ent.Events,
 		Profiled:     ent.Profiled,
 		Failure:      ent.Failure,

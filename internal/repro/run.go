@@ -40,6 +40,18 @@ type Row struct {
 	// from the cycle profiler (0 when profiling was off) — the §6.1
 	// per-event-overhead signal.
 	PacingShare float64
+	// AppKind names the application workload the point ran ("" for bulk
+	// iperf points). When set, Requests counts completed operations across
+	// the point's seeds, LatP50ms/LatP90ms/LatP99ms are request-latency
+	// percentiles over every completed operation, and RebufferPct is the
+	// streaming workload's stall share of playback time. Like Profiled,
+	// they survive the checkpoint journal.
+	AppKind     string
+	Requests    int64
+	LatP50ms    float64
+	LatP90ms    float64
+	LatP99ms    float64
+	RebufferPct float64
 	// Events is the total simulator events executed across the point's
 	// seeds. Deterministic per spec+seed, so it survives the checkpoint
 	// journal and the run archive unchanged.
@@ -152,7 +164,7 @@ func rowFromAggregate(p Point, agg *core.Aggregate) Row {
 	if sample.Profile != nil {
 		paceShare = sample.Profile.Share("net", "pacing_timer")
 	}
-	return Row{
+	row := Row{
 		Point:        p,
 		GoodputMbps:  agg.Goodput.Mean() / 1e6,
 		GoodputCI:    agg.Goodput.CI95() / 1e6,
@@ -170,17 +182,31 @@ func rowFromAggregate(p Point, agg *core.Aggregate) Row {
 		Sample:       sample,
 		Profiled:     sample.Profile != nil,
 	}
+	if agg.App != nil {
+		row.AppKind = agg.App.Kind
+		row.Requests = agg.App.Completed
+		row.LatP50ms = agg.App.LatP(50)
+		row.LatP90ms = agg.App.LatP(90)
+		row.LatP99ms = agg.App.LatP(99)
+		row.RebufferPct = agg.App.RebufferRatio * 100
+	}
+	return row
 }
 
 // Print writes rows as an aligned table to w, including the paper's values
 // where the text states them. A pace% column (pacing-timer share of
-// netstack cycles) appears when any row carries a cycle profile.
+// netstack cycles) appears when any row carries a cycle profile;
+// application columns (requests, latency percentiles, rebuffer share)
+// appear when any row ran an app workload.
 func Print(w io.Writer, e Experiment, rows []Row) {
 	profiled := false
+	hasApp := false
 	for _, r := range rows {
 		if r.Profiled || (r.Sample != nil && r.Sample.Profile != nil) {
 			profiled = true
-			break
+		}
+		if r.AppKind != "" {
+			hasApp = true
 		}
 	}
 	fmt.Fprintf(w, "== %s: %s\n", e.ID, e.Title)
@@ -188,6 +214,10 @@ func Print(w io.Writer, e Experiment, rows []Row) {
 		"point", "Mbps", "±CI", "paper", "rtt ms", "retx", "skb Kb", "idle ms", "expect", "jain")
 	if profiled {
 		fmt.Fprintf(w, " %6s", "pace%")
+	}
+	if hasApp {
+		fmt.Fprintf(w, " %7s %7s %8s %8s %8s %6s",
+			"app", "reqs", "p50 ms", "p90 ms", "p99 ms", "rbuf%")
 	}
 	fmt.Fprintln(w)
 	for _, r := range rows {
@@ -213,6 +243,14 @@ func Print(w io.Writer, e Experiment, rows []Row) {
 			r.RTTms, r.Retransmits, r.SKBKbits, r.IdleMs, r.ExpectedMbps, r.Jain)
 		if profiled {
 			fmt.Fprintf(w, " %6.1f", r.PacingShare*100)
+		}
+		if hasApp {
+			if r.AppKind != "" {
+				fmt.Fprintf(w, " %7s %7d %8.1f %8.1f %8.1f %6.2f",
+					r.AppKind, r.Requests, r.LatP50ms, r.LatP90ms, r.LatP99ms, r.RebufferPct)
+			} else {
+				fmt.Fprintf(w, " %7s %7s %8s %8s %8s %6s", "-", "-", "-", "-", "-", "-")
+			}
 		}
 		fmt.Fprintln(w)
 	}

@@ -1,0 +1,442 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"mobbr/internal/cc"
+	"mobbr/internal/cpumodel"
+	"mobbr/internal/netem"
+	"mobbr/internal/seg"
+	"mobbr/internal/tcp"
+	"mobbr/internal/units"
+)
+
+// addr is the synthetic net.Addr of a simulated endpoint.
+type addr string
+
+func (a addr) Network() string { return "sim" }
+func (a addr) String() string  { return string(a) }
+
+// PairConfig parameterizes the modelled server→client return stream. The
+// testbed's heavy direction is the phone's uplink, which rides the full
+// simulated TCP stack; responses ride a delay/rate model (the paper's
+// return path carries only ACK-scale traffic).
+type PairConfig struct {
+	// DownDelay is the one-way response latency (typically half the
+	// path's no-load RTT).
+	DownDelay time.Duration
+	// DownRate serializes responses before the delay (0 = pure delay).
+	DownRate units.Bandwidth
+}
+
+// pair couples the two endpoints of one simulated connection.
+type pair struct {
+	n   *Net
+	tc  *tcp.Conn
+	rx  *tcp.Receiver
+	cfg PairConfig
+
+	// Client→server: the simulated uplink TCP stack. finAt is the client
+	// write offset at CloseWrite (-1 while open); srvConsumed is how much
+	// of the delivered stream the server has read; upErr records a
+	// transport failure (connection declared dead).
+	finAt       int64
+	srvConsumed int64
+	upErr       error
+
+	// Server→client: the modelled return stream. Writes never block;
+	// each response serializes behind the previous (respBusyUntil) at
+	// DownRate, then arrives DownDelay later as readable bytes.
+	respAvail     int64
+	respPending   int
+	respBusyUntil time.Duration
+	srvWClosed    bool
+
+	cliClosed, srvClosed bool
+
+	// Registered blocking operations (one reader and one writer per
+	// endpoint side at a time).
+	cliRead, cliWrite, srvRead *waiter
+}
+
+// Conn is one endpoint of a simulated connection. It implements net.Conn
+// with all timing in virtual time; payload bytes are synthetic (only
+// lengths travel, as everywhere in the simulator). Each endpoint must be
+// driven from proc context (inside a Net.Go body), one blocking reader
+// and writer at a time; Close may be called from any proc.
+type Conn struct {
+	p      *pair
+	server bool
+	// Absolute virtual-time deadlines (-1 = none).
+	rdl, wdl time.Duration
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// Wrap couples an existing stream-mode tcp.Conn and its Receiver into a
+// (client, server) net.Conn pair. The tcp.Conn must have SetStream called
+// already (the iperf harness does this for Config.Stream sessions); Wrap
+// installs its stream callbacks and the receiver's delivery listener.
+func (n *Net) Wrap(tc *tcp.Conn, rx *tcp.Receiver, cfg PairConfig) (client, server *Conn) {
+	pr := &pair{n: n, tc: tc, rx: rx, cfg: cfg, finAt: -1}
+	tc.SetStreamCallbacks(
+		func() { n.fire(pr.cliWrite, nil) },
+		nil, // drain completion rides the ACK stream; FIN is finAt
+		func(err error) {
+			pr.upErr = err
+			n.fire(pr.cliWrite, err)
+			n.fire(pr.cliRead, err)
+			n.fire(pr.srvRead, err)
+		},
+	)
+	rx.SetDeliveryListener(func() { n.fire(pr.srvRead, nil) })
+	return &Conn{p: pr, rdl: -1, wdl: -1}, &Conn{p: pr, server: true, rdl: -1, wdl: -1}
+}
+
+// vtime converts a net.Conn deadline to absolute virtual time (-1 = none).
+func vtime(t time.Time) time.Duration {
+	if t.IsZero() {
+		return -1
+	}
+	return t.Sub(epoch)
+}
+
+// SetDeadline implements net.Conn in virtual time.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.rdl, c.wdl = vtime(t), vtime(t)
+	return nil
+}
+
+// SetReadDeadline implements net.Conn in virtual time.
+func (c *Conn) SetReadDeadline(t time.Time) error { c.rdl = vtime(t); return nil }
+
+// SetWriteDeadline implements net.Conn in virtual time.
+func (c *Conn) SetWriteDeadline(t time.Time) error { c.wdl = vtime(t); return nil }
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr {
+	if c.server {
+		return addr(fmt.Sprintf("server:%d", c.p.tc.ID()))
+	}
+	return addr(fmt.Sprintf("phone:%d", c.p.tc.ID()))
+}
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr {
+	if c.server {
+		return addr(fmt.Sprintf("phone:%d", c.p.tc.ID()))
+	}
+	return addr(fmt.Sprintf("server:%d", c.p.tc.ID()))
+}
+
+// Read implements net.Conn: it blocks in virtual time until bytes are
+// readable, EOF (peer half-closed and everything consumed), a deadline,
+// an error, or Shutdown.
+func (c *Conn) Read(b []byte) (int, error) {
+	p := c.p
+	n := p.n
+	for {
+		if n.closed {
+			return 0, ErrClosed
+		}
+		if c.server {
+			if p.srvClosed {
+				return 0, net.ErrClosed
+			}
+			if avail := int64(p.rx.GoodBytes()) - p.srvConsumed; avail > 0 {
+				m := int64(len(b))
+				if m > avail {
+					m = avail
+				}
+				p.srvConsumed += m
+				return int(m), nil
+			}
+			if p.finAt >= 0 && p.srvConsumed >= p.finAt {
+				return 0, io.EOF
+			}
+			if p.upErr != nil {
+				return 0, p.upErr
+			}
+			w := &waiter{p: n.running}
+			p.srvRead = w
+			err := n.wait(w, c.rdl)
+			p.srvRead = nil
+			if err != nil {
+				return 0, err
+			}
+			continue
+		}
+		if p.cliClosed {
+			return 0, net.ErrClosed
+		}
+		if p.respAvail > 0 {
+			m := int64(len(b))
+			if m > p.respAvail {
+				m = p.respAvail
+			}
+			p.respAvail -= m
+			return int(m), nil
+		}
+		if p.srvWClosed && p.respPending == 0 {
+			return 0, io.EOF
+		}
+		if p.upErr != nil {
+			return 0, p.upErr
+		}
+		w := &waiter{p: n.running}
+		p.cliRead = w
+		err := n.wait(w, c.rdl)
+		p.cliRead = nil
+		if err != nil {
+			return 0, err
+		}
+	}
+}
+
+// Write implements net.Conn. The client side pushes bytes into the
+// simulated uplink stack and blocks (in virtual time) on send-buffer
+// backpressure; the server side schedules the response onto the modelled
+// return stream and never blocks.
+func (c *Conn) Write(b []byte) (int, error) {
+	p := c.p
+	n := p.n
+	if c.server {
+		if n.closed {
+			return 0, ErrClosed
+		}
+		if p.srvClosed || p.srvWClosed {
+			return 0, net.ErrClosed
+		}
+		size := int64(len(b))
+		if size == 0 {
+			return 0, nil
+		}
+		now := n.eng.Now()
+		start := p.respBusyUntil
+		if start < now {
+			start = now
+		}
+		var tx time.Duration
+		if p.cfg.DownRate > 0 {
+			tx = p.cfg.DownRate.TimeToSend(units.DataSize(size))
+		}
+		p.respBusyUntil = start + tx
+		p.respPending++
+		n.eng.ScheduleAt(start+tx+p.cfg.DownDelay, func() {
+			p.respPending--
+			p.respAvail += size
+			n.fire(p.cliRead, nil)
+		})
+		return len(b), nil
+	}
+	total := 0
+	for total < len(b) {
+		if n.closed {
+			return total, ErrClosed
+		}
+		if p.cliClosed {
+			return total, net.ErrClosed
+		}
+		if p.upErr != nil {
+			return total, p.upErr
+		}
+		nn, err := p.tc.StreamWrite(int64(len(b) - total))
+		if err != nil {
+			return total, err
+		}
+		total += int(nn)
+		if total == len(b) {
+			break
+		}
+		if nn > 0 {
+			continue
+		}
+		w := &waiter{p: n.running}
+		p.cliWrite = w
+		err = n.wait(w, c.wdl)
+		p.cliWrite = nil
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// CloseWrite half-closes the write side. The client side sends FIN
+// through the simulated stack (written data keeps retransmitting until
+// acknowledged); the server side ends the response stream after pending
+// responses deliver. Idempotent.
+func (c *Conn) CloseWrite() error {
+	p := c.p
+	n := p.n
+	if c.server {
+		if p.srvWClosed {
+			return nil
+		}
+		p.srvWClosed = true
+		if p.respPending == 0 {
+			n.fire(p.cliRead, nil) // EOF is readable now
+		}
+		return nil
+	}
+	if p.finAt >= 0 {
+		return nil
+	}
+	p.finAt = p.tc.CloseStream()
+	if p.srvConsumed >= p.finAt {
+		n.fire(p.srvRead, nil) // EOF is readable now
+	}
+	return nil
+}
+
+// Close implements net.Conn: half-close both directions, begin the
+// transport's graceful teardown (client side), and unblock any parked
+// operations on this endpoint with net.ErrClosed. Idempotent and safe
+// from any proc, concurrently with reads and writes.
+func (c *Conn) Close() error {
+	p := c.p
+	n := p.n
+	if c.server {
+		if p.srvClosed {
+			return nil
+		}
+		p.srvClosed = true
+		if !p.srvWClosed {
+			p.srvWClosed = true
+			if p.respPending == 0 {
+				n.fire(p.cliRead, nil)
+			}
+		}
+		n.fire(p.srvRead, net.ErrClosed)
+		return nil
+	}
+	if p.cliClosed {
+		return nil
+	}
+	p.cliClosed = true
+	if p.finAt < 0 {
+		p.finAt = p.tc.CloseStream()
+		if p.srvConsumed >= p.finAt {
+			n.fire(p.srvRead, nil)
+		}
+	}
+	p.tc.Close()
+	n.fire(p.cliRead, net.ErrClosed)
+	n.fire(p.cliWrite, net.ErrClosed)
+	return nil
+}
+
+// Transport returns the underlying simulated TCP connection (client and
+// server endpoints share it).
+func (c *Conn) Transport() *tcp.Conn { return c.p.tc }
+
+// --- Dial / Listen ----------------------------------------------------------
+
+// Stack carries the simulated-testbed pieces Dial needs to build fresh
+// connections: the CPUs, the path, the TCP config, the congestion-control
+// factory, the shared demux (SetReceiver'd on the path), and the pair
+// model for the return stream.
+type Stack struct {
+	CPU    *cpumodel.CPU
+	AppCPU *cpumodel.CPU // optional
+	Path   *netem.Path
+	TCP    tcp.Config
+	CC     cc.Factory
+	Pool   *seg.Pool // optional
+	Demux  *tcp.Demux
+	Pair   PairConfig
+	// NextFlow numbers new connections. Start it above any
+	// harness-built flows sharing the demux.
+	NextFlow int
+}
+
+// SetStack installs the stack Dial builds connections over.
+func (n *Net) SetStack(st *Stack) { n.stack = st }
+
+// Listener accepts the server endpoints of dialed connections.
+type Listener struct {
+	n      *Net
+	queue  []net.Conn
+	accW   *waiter
+	closed bool
+}
+
+// Listen returns the network's listener (one per Net).
+func (n *Net) Listen() *Listener {
+	if n.listener == nil {
+		n.listener = &Listener{n: n}
+	}
+	return n.listener
+}
+
+// Accept blocks in virtual time until a dialed connection's server
+// endpoint is available. Proc context only.
+func (l *Listener) Accept() (net.Conn, error) {
+	n := l.n
+	for {
+		if n.closed || l.closed {
+			return nil, ErrClosed
+		}
+		if len(l.queue) > 0 {
+			c := l.queue[0]
+			l.queue = l.queue[1:]
+			return c, nil
+		}
+		w := &waiter{p: n.running}
+		l.accW = w
+		err := n.wait(w, -1)
+		l.accW = nil
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Close stops the listener and unblocks a pending Accept.
+func (l *Listener) Close() error {
+	l.closed = true
+	l.n.fire(l.accW, ErrClosed)
+	return nil
+}
+
+// Addr implements net.Listener's shape.
+func (l *Listener) Addr() net.Addr { return addr("server:listen") }
+
+// Dial builds a fresh stream-mode connection over the installed Stack,
+// starts it, waits one no-load RTT for the (abstracted) handshake, and
+// hands the server endpoint to the listener. Proc context only.
+func (n *Net) Dial() (net.Conn, error) {
+	if n.closed {
+		return nil, ErrClosed
+	}
+	st := n.stack
+	if st == nil {
+		return nil, errors.New("simnet: Dial needs SetStack")
+	}
+	id := st.NextFlow
+	st.NextFlow++
+	tc := tcp.NewConn(id, n.eng, st.CPU, st.Path, st.TCP, st.CC)
+	tc.SetStream()
+	if st.Pool != nil {
+		tc.SetPool(st.Pool)
+	}
+	if st.AppCPU != nil {
+		tc.SetAppCPU(st.AppCPU)
+	}
+	rx := tcp.NewReceiver(n.eng, st.Path, tc)
+	st.Demux.Add(rx)
+	cl, sv := n.Wrap(tc, rx, st.Pair)
+	tc.Start()
+	if err := n.Sleep(n.running, st.Path.MinRTT()); err != nil {
+		return nil, err
+	}
+	if l := n.listener; l != nil {
+		l.queue = append(l.queue, sv)
+		n.fire(l.accW, nil)
+	}
+	return cl, nil
+}

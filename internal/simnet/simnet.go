@@ -1,0 +1,197 @@
+// Package simnet exposes the deterministic simulator behind a net-shaped
+// API: Dial/Listen/Wrap return net.Conn implementations whose Read, Write
+// and deadline semantics run entirely in virtual time, so any Go-writable
+// workload (request/response clients, streaming uploaders) can drive the
+// simulated TCP stack without knowing it is simulated.
+//
+// Determinism contract: application code runs on real goroutines, but a
+// baton handoff guarantees exactly one logical thread is ever runnable —
+// either the engine or one proc. A proc runs only between an explicit
+// resume (engine context) and its next park (blocking op), and every wake
+// is ordered by the engine's event sequence. Runs are therefore
+// byte-deterministic at any -j and race-detector clean: all shared state
+// is accessed under the baton, with happens-before established by the
+// handoff channels.
+package simnet
+
+import (
+	"errors"
+	"os"
+	"time"
+
+	"mobbr/internal/sim"
+)
+
+// ErrClosed is returned by blocking operations after Shutdown.
+var ErrClosed = errors.New("simnet: network closed")
+
+// epoch anchors virtual time zero for the time.Time-based net.Conn
+// deadline API: virtual t maps to epoch.Add(t).
+var epoch = time.Unix(0, 0)
+
+// Net owns the procs of one simulated network and the baton that
+// serializes them against the engine.
+type Net struct {
+	eng   *sim.Engine
+	procs []*Proc
+	// parked is the baton's return channel: a proc sends on it when it
+	// parks or exits, unblocking the resume that woke it.
+	parked  chan struct{}
+	running *Proc // proc currently holding the baton (nil in engine context)
+	closed  bool
+
+	stack    *Stack
+	listener *Listener
+}
+
+// New builds an empty network on the engine.
+func New(eng *sim.Engine) *Net {
+	return &Net{eng: eng, parked: make(chan struct{})}
+}
+
+// Engine returns the underlying simulator engine.
+func (n *Net) Engine() *sim.Engine { return n.eng }
+
+// Now returns the current virtual time as a wall-clock value anchored at
+// the Unix epoch (the inverse of the deadline mapping).
+func (n *Net) Now() time.Time { return epoch.Add(n.eng.Now()) }
+
+// Closed reports whether Shutdown has run.
+func (n *Net) Closed() bool { return n.closed }
+
+// Proc is one logical application thread. It runs on its own goroutine
+// but only while it holds the baton; all its blocking operations park it
+// back into the engine's event order.
+type Proc struct {
+	n      *Net
+	id     int
+	wake   chan struct{}
+	exited bool
+	w      *waiter // park reason (nil while running or exited)
+}
+
+// waiter is one parked blocking operation. fired guards against double
+// wakes (data and deadline landing on the same instant).
+type waiter struct {
+	p     *Proc
+	err   error
+	fired bool
+	timer sim.Timer
+}
+
+// Go spawns a proc that first runs at start of virtual time. fn must
+// bound its work with the Net's blocking operations (Read/Write/Sleep/
+// Accept); returning ends the proc.
+func (n *Net) Go(start time.Duration, fn func(p *Proc)) *Proc {
+	p := &Proc{n: n, id: len(n.procs), wake: make(chan struct{})}
+	n.procs = append(n.procs, p)
+	go func() {
+		<-p.wake
+		fn(p)
+		p.exited = true
+		n.parked <- struct{}{}
+	}()
+	n.eng.Schedule(start, func() { n.resume(p) })
+	return p
+}
+
+// resume hands the baton to p and blocks until p parks or exits. It runs
+// in engine context (an engine event, or the Shutdown loop after the
+// engine has stopped).
+func (n *Net) resume(p *Proc) {
+	if p.exited {
+		return
+	}
+	n.running = p
+	p.wake <- struct{}{}
+	<-n.parked
+	n.running = nil
+}
+
+// park blocks the calling proc until its waiter is fired, handing the
+// baton back to whoever resumed it. Returns the waiter's error.
+func (p *Proc) park(w *waiter) error {
+	p.w = w
+	p.n.parked <- struct{}{}
+	<-p.wake
+	p.w = nil
+	return w.err
+}
+
+// fire wakes w's proc with err. From engine context the proc runs
+// immediately (nested inside the current event); from proc context —
+// one proc waking another — the wake is deferred one zero-delay event so
+// the baton discipline holds. Double fires and nil waiters are no-ops.
+func (n *Net) fire(w *waiter, err error) {
+	if w == nil || w.fired {
+		return
+	}
+	w.fired = true
+	w.err = err
+	if n.running != nil {
+		n.eng.Schedule(0, func() { n.resume(w.p) })
+	} else {
+		n.resume(w.p)
+	}
+}
+
+// wait parks the calling proc on w until fired, optionally bounded by an
+// absolute virtual-time deadline (<0 = none). A deadline expiry returns
+// os.ErrDeadlineExceeded, matching net.Conn semantics.
+func (n *Net) wait(w *waiter, deadline time.Duration) error {
+	if deadline >= 0 {
+		d := deadline - n.eng.Now()
+		if d < 0 {
+			d = 0
+		}
+		w.timer = n.eng.Schedule(d, func() { n.fire(w, os.ErrDeadlineExceeded) })
+	}
+	err := w.p.park(w)
+	w.timer.Stop()
+	return err
+}
+
+// Sleep parks p for d of virtual time. It returns ErrClosed when woken by
+// Shutdown instead.
+func (n *Net) Sleep(p *Proc, d time.Duration) error {
+	if n.closed {
+		return ErrClosed
+	}
+	if d < 0 {
+		d = 0
+	}
+	w := &waiter{p: p}
+	w.timer = n.eng.Schedule(d, func() { n.fire(w, nil) })
+	err := p.park(w)
+	w.timer.Stop()
+	return err
+}
+
+// Shutdown closes the network after the engine's run horizon: every
+// parked (or never-started) proc is woken with ErrClosed, repeatedly, in
+// spawn order, until all have exited. Blocking operations check the
+// closed flag first and fail fast, so procs unwind without scheduling
+// further work. Deterministic and idempotent.
+func (n *Net) Shutdown() {
+	n.closed = true
+	for guard := 0; ; guard++ {
+		if guard > 1_000_000 {
+			panic("simnet: Shutdown: procs refuse to exit")
+		}
+		var live *Proc
+		for _, p := range n.procs {
+			if !p.exited {
+				live = p
+				break
+			}
+		}
+		if live == nil {
+			return
+		}
+		if w := live.w; w != nil && !w.fired {
+			w.fired = true
+			w.err = ErrClosed
+		}
+		n.resume(live)
+	}
+}

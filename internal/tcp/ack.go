@@ -215,6 +215,9 @@ func (c *Conn) processAck(a *seg.Ack) {
 	// then the ACK clock triggers a send attempt.
 	c.appPump()
 	c.trySend()
+	if c.stream && a.CumAck > priorUna {
+		c.streamProgress()
+	}
 	c.pool.PutAck(a)
 }
 

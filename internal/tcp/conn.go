@@ -90,6 +90,22 @@ type Conn struct {
 
 	appSent int64 // bytes handed to the network so far (for AppBytes limit)
 
+	// Stream-source mode (SetStream): instead of the config-driven bulk
+	// source, the application pushes bytes with StreamWrite and half-closes
+	// with CloseStream — the byte-stream surface the simnet net.Conn facade
+	// drives. streamTotal is the write offset so far; streamEnd is the
+	// offset at CloseStream (-1 while the stream is open); closing marks a
+	// graceful Close in progress (stop once everything is acknowledged).
+	stream       bool
+	streamTotal  int64
+	streamEnd    int64
+	closing      bool
+	drainedFired bool
+	kicked       bool // Start's kick has run; writes may transmit
+	onWritable   func()
+	onDrained    func()
+	onFailed     func(error)
+
 	// Application-source pipeline (when appCPU is set): the sender task
 	// keeps the socket buffer filled ahead of transmission, so the
 	// per-byte copy cost loads the app core without sitting inside the
@@ -247,6 +263,7 @@ func (c *Conn) Start() {
 	}
 	c.started = true
 	c.eng.Schedule(c.cfg.StartDelay, func() {
+		c.kicked = true
 		c.lastProgress = c.eng.Now()
 		c.armWatchdog()
 		c.appPump()
@@ -265,20 +282,42 @@ func (c *Conn) appPump() {
 		return
 	}
 	room := c.cfg.SndBuf - c.buffered - units.DataSize(c.inflight)*c.cfg.MSS
-	if room < c.cfg.MSS {
-		return
-	}
 	chunk := appCopyChunk
-	if chunk > room {
-		chunk = room
-	}
-	if c.cfg.AppBytes > 0 {
-		rem := int64(c.cfg.AppBytes) - c.appCopied
+	if c.stream {
+		rem := c.streamTotal - c.appCopied
 		if rem <= 0 {
 			return
 		}
-		if rem < int64(chunk) {
+		// A sub-MSS tail still copies (it will push as a short segment);
+		// otherwise wait for at least one MSS of room.
+		need := rem
+		if need > int64(c.cfg.MSS) {
+			need = int64(c.cfg.MSS)
+		}
+		if int64(room) < need {
+			return
+		}
+		if int64(chunk) > rem {
 			chunk = units.DataSize(rem)
+		}
+		if chunk > room {
+			chunk = room
+		}
+	} else {
+		if room < c.cfg.MSS {
+			return
+		}
+		if chunk > room {
+			chunk = room
+		}
+		if c.cfg.AppBytes > 0 {
+			rem := int64(c.cfg.AppBytes) - c.appCopied
+			if rem <= 0 {
+				return
+			}
+			if rem < int64(chunk) {
+				chunk = units.DataSize(rem)
+			}
 		}
 	}
 	c.appBusy = true
@@ -319,7 +358,150 @@ func (c *Conn) fail(err error) {
 		c.bus.Emit(telemetry.Event{Kind: telemetry.KindConnFailed, Conn: c.id, New: err.Error()})
 	}
 	c.Stop()
+	if c.onFailed != nil {
+		c.onFailed(err)
+	}
 }
+
+// --- stream-source mode -----------------------------------------------------
+
+// SetStream puts the connection in stream-source mode: the application
+// pushes bytes with StreamWrite (bounded by the send buffer) and ends the
+// stream with CloseStream. The config-driven AppBytes/bulk source is
+// disabled. Call before Start.
+func (c *Conn) SetStream() {
+	c.stream = true
+	c.streamEnd = -1
+}
+
+// SetStreamCallbacks installs the stream-mode notification hooks: writable
+// fires when acknowledged progress reopens send-buffer room, drained fires
+// once everything written before CloseStream has been cumulatively
+// acknowledged, and failed fires when the transport declares the
+// connection dead. Any hook may be nil. Call before Start.
+func (c *Conn) SetStreamCallbacks(writable, drained func(), failed func(error)) {
+	c.onWritable = writable
+	c.onDrained = drained
+	c.onFailed = failed
+}
+
+// StreamRoom returns how many more bytes StreamWrite would accept now:
+// the send buffer minus everything written but not yet cumulatively
+// acknowledged. Zero once the stream is closed or the connection is done.
+func (c *Conn) StreamRoom() int64 {
+	if !c.stream || c.done || c.closing || c.streamEnd >= 0 {
+		return 0
+	}
+	room := int64(c.cfg.SndBuf) - (c.streamTotal - c.sndUna)
+	if room < 0 {
+		room = 0
+	}
+	return room
+}
+
+// StreamWrite offers n bytes to the send side and returns how many were
+// accepted (possibly zero when the send buffer is full — the writable
+// callback announces new room). Writing on a closed stream or a failed
+// connection is an error.
+func (c *Conn) StreamWrite(n int64) (int64, error) {
+	if !c.stream {
+		return 0, fmt.Errorf("tcp: conn %d: StreamWrite without SetStream", c.id)
+	}
+	if c.failedErr != nil {
+		return 0, c.failedErr
+	}
+	if c.done || c.closing || c.streamEnd >= 0 {
+		return 0, fmt.Errorf("tcp: conn %d: write on closed stream", c.id)
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	if room := c.StreamRoom(); n > room {
+		n = room
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	c.streamTotal += n
+	if c.kicked {
+		c.appPump()
+		c.trySend()
+	}
+	return n, nil
+}
+
+// CloseStream half-closes the write side (FIN): no more bytes are
+// accepted, everything already written keeps (re)transmitting until
+// acknowledged. Returns the final stream length. Idempotent.
+func (c *Conn) CloseStream() int64 {
+	if !c.stream {
+		return 0
+	}
+	if c.streamEnd < 0 {
+		c.streamEnd = c.streamTotal
+		c.maybeDrained()
+	}
+	return c.streamEnd
+}
+
+// Close begins a graceful teardown. In stream mode it is CloseStream plus
+// a deferred Stop: timers keep running until the last written byte is
+// acknowledged (the FIN retransmits like data), then the connection stops.
+// Without stream mode it stops immediately. Idempotent and safe at any
+// point in the connection's life, including before Start and concurrently
+// with recovery.
+func (c *Conn) Close() {
+	if c.done || c.closing {
+		return
+	}
+	if !c.stream {
+		c.Stop()
+		return
+	}
+	c.closing = true
+	c.CloseStream()
+	if c.drainedFired {
+		c.Stop()
+	}
+}
+
+// maybeDrained fires the drained hook (once) when a closed stream has been
+// fully acknowledged, and completes a pending graceful Close.
+func (c *Conn) maybeDrained() {
+	if c.streamEnd < 0 || c.drainedFired || c.sndUna < c.streamEnd {
+		return
+	}
+	c.drainedFired = true
+	if c.onDrained != nil {
+		c.onDrained()
+	}
+	if c.closing {
+		c.Stop()
+	}
+}
+
+// streamTailReady reports that the copied tail is everything the app has
+// written so far — push it as a short segment instead of waiting for a
+// full MSS (TCP_NODELAY-style request tails).
+func (c *Conn) streamTailReady() bool {
+	return !c.appBusy && c.appCopied >= c.streamTotal
+}
+
+// streamProgress runs after an ACK advances sndUna in stream mode: it
+// completes a pending drain and announces reopened send-buffer room.
+func (c *Conn) streamProgress() {
+	c.maybeDrained()
+	if c.done || c.drainedFired {
+		return
+	}
+	if c.onWritable != nil && c.StreamRoom() > 0 {
+		c.onWritable()
+	}
+}
+
+// StartDelay returns the connection's configured start offset, so stream
+// drivers can align their first write with the staggered kick.
+func (c *Conn) StartDelay() time.Duration { return c.cfg.StartDelay }
 
 // watchdogInterval is how often the stall watchdog re-checks progress.
 const watchdogInterval = 500 * time.Millisecond
@@ -428,6 +610,24 @@ func (c *Conn) Rand() *rand.Rand { return c.eng.Rand() }
 // With an app core attached, only bytes already copied into the socket
 // buffer are sendable; otherwise the source is treated as instantaneous.
 func (c *Conn) appBacklogSegs() int {
+	if c.stream {
+		if c.appCPU != nil {
+			segs := int(c.buffered / c.cfg.MSS)
+			if segs == 0 && c.buffered > 0 && c.streamTailReady() {
+				segs = 1 // short tail segment
+			}
+			return segs
+		}
+		rem := c.streamTotal - c.sndNxt
+		if rem <= 0 {
+			return 0
+		}
+		segs := rem / int64(c.cfg.MSS)
+		if rem%int64(c.cfg.MSS) != 0 {
+			segs++ // push the partial tail immediately
+		}
+		return int(segs)
+	}
 	if c.appCPU != nil {
 		segs := int(c.buffered / c.cfg.MSS)
 		if segs == 0 && c.buffered > 0 && c.cfg.AppBytes > 0 &&
@@ -611,16 +811,29 @@ func (c *Conn) emit(paceFrom time.Duration, retx []*pktInfo, newSegs int) {
 		l := c.cfg.MSS
 		if c.appCPU != nil {
 			if c.buffered < l {
-				if c.buffered > 0 && c.cfg.AppBytes > 0 &&
-					c.appCopied >= int64(c.cfg.AppBytes) {
-					l = c.buffered // short final segment
-				} else {
+				short := false
+				if c.buffered > 0 {
+					if c.stream {
+						short = c.streamTailReady()
+					} else {
+						short = c.cfg.AppBytes > 0 &&
+							c.appCopied >= int64(c.cfg.AppBytes)
+					}
+				}
+				if !short {
 					break
 				}
+				l = c.buffered // short final/tail segment
 			}
 			c.buffered -= l
 		}
-		if c.cfg.AppBytes > 0 {
+		if c.stream {
+			if rem := c.streamTotal - c.sndNxt; rem <= 0 {
+				break
+			} else if rem < int64(l) {
+				l = units.DataSize(rem)
+			}
+		} else if c.cfg.AppBytes > 0 {
 			if rem := int64(c.cfg.AppBytes) - c.sndNxt; rem <= 0 {
 				break
 			} else if rem < int64(l) {

@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"mobbr/internal/cc"
+	"mobbr/internal/cpumodel"
 	"mobbr/internal/netem"
+	"mobbr/internal/sim"
 	"mobbr/internal/units"
 )
 
@@ -172,5 +174,151 @@ func TestCwndRestartAfterIdle(t *testing.T) {
 	c.cwndRestartAfterIdle(now)
 	if c.cwnd != 64 {
 		t.Errorf("cwnd %d changed after sub-RTO idle", c.cwnd)
+	}
+}
+
+// --- stream-source mode hardening -------------------------------------------
+
+// streamDriver feeds a stream-mode connection from engine context the way
+// the simnet facade does: write as room frees (the writable callback),
+// half-close when everything is buffered, and record drain/failure.
+type streamDriver struct {
+	c              *Conn
+	total, written int64
+	closedStream   bool
+	drained        bool
+	failed         error
+}
+
+func newStreamDriver(c *Conn, total int64) *streamDriver {
+	d := &streamDriver{c: c, total: total}
+	c.SetStream()
+	c.SetStreamCallbacks(d.pump, func() { d.drained = true }, func(err error) { d.failed = err })
+	return d
+}
+
+func (d *streamDriver) pump() {
+	for d.written < d.total {
+		n, err := d.c.StreamWrite(d.total - d.written)
+		if err != nil || n == 0 {
+			return
+		}
+		d.written += n
+	}
+	if !d.closedStream {
+		d.closedStream = true
+		d.c.CloseStream()
+	}
+}
+
+// TestStreamTransferDrains: a stream-mode source must deliver exactly the
+// written bytes, fire the drain callback once everything is acked, and
+// survive repeated Close calls afterwards.
+func TestStreamTransferDrains(t *testing.T) {
+	stub := &stubCC{cwnd: 64}
+	h := newHarness(t, Config{}, stub, netem.TC{})
+	const total = 256 * 1024
+	d := newStreamDriver(h.conn, total)
+	h.conn.Start()
+	h.eng.Schedule(0, d.pump)
+	h.eng.Run(5 * time.Second)
+	if got := h.rx.GoodBytes(); got != total {
+		t.Fatalf("delivered %v, want %d", got, total)
+	}
+	if !d.drained {
+		t.Error("drain callback never fired")
+	}
+	if err := h.conn.Err(); err != nil {
+		t.Errorf("clean stream transfer failed the conn: %v", err)
+	}
+	h.conn.Close()
+	h.conn.Close() // idempotent
+}
+
+// TestStreamCloseIdempotent: CloseStream must return a stable end offset,
+// writes after it must fail, and Close before drain must tear down once
+// the FIN point is acknowledged — per-transaction open/close safety.
+func TestStreamCloseIdempotent(t *testing.T) {
+	stub := &stubCC{cwnd: 64}
+	h := newHarness(t, Config{}, stub, netem.TC{})
+	const total = 64 * 1024
+	d := newStreamDriver(h.conn, total)
+	h.conn.Start()
+	h.eng.Schedule(0, d.pump)
+	h.eng.Schedule(100*time.Microsecond, func() {
+		end1 := h.conn.CloseStream()
+		end2 := h.conn.CloseStream()
+		if end1 != end2 {
+			t.Errorf("CloseStream end moved: %d then %d", end1, end2)
+		}
+		if _, err := h.conn.StreamWrite(1); err == nil {
+			t.Error("StreamWrite after CloseStream succeeded")
+		}
+		h.conn.Close()
+		h.conn.Close()
+	})
+	h.eng.Run(5 * time.Second)
+	if got, want := h.rx.GoodBytes(), units.DataSize(d.written); got != want {
+		t.Fatalf("delivered %v, want the %v written before close", got, want)
+	}
+	if !d.drained {
+		t.Error("stream never reported drained after Close")
+	}
+}
+
+// TestStreamFailureSurfaced: when the transport gives up, the failure
+// callback must fire and subsequent StreamWrites must return the error.
+func TestStreamFailureSurfaced(t *testing.T) {
+	stub := &stubCC{cwnd: 10}
+	h := newHarness(t, Config{MaxRetries: 4}, stub, netem.TC{Loss: 1.0})
+	d := newStreamDriver(h.conn, 64*1024)
+	h.conn.Start()
+	h.eng.Schedule(0, d.pump)
+	h.eng.Run(60 * time.Second)
+	if d.failed == nil {
+		t.Fatal("failure callback never fired under total loss")
+	}
+	if _, err := h.conn.StreamWrite(1); err == nil {
+		t.Error("StreamWrite after transport failure succeeded")
+	}
+	if d.drained {
+		t.Error("failed stream reported drained")
+	}
+}
+
+// TestPerTransactionChurn: repeated short open/transfer/close cycles over
+// one shared path and demux — the request/response pattern — must deliver
+// every transaction in full with no leaks, stalls, or double-close issues.
+func TestPerTransactionChurn(t *testing.T) {
+	eng := sim.New(1)
+	cpu := cpumodel.NewCPU(eng, cpumodel.DefaultCosts(), 5e9)
+	path, err := netem.EthernetLAN(eng, netem.TC{})
+	if err != nil {
+		t.Fatalf("EthernetLAN: %v", err)
+	}
+	demux := NewDemux()
+	path.SetReceiver(demux.Handle)
+	var end time.Duration
+	for i := 0; i < 5; i++ {
+		stub := &stubCC{cwnd: 64}
+		conn := NewConn(i, eng, cpu, path, Config{}, func() cc.CongestionControl { return stub })
+		d := newStreamDriver(conn, 64*1024)
+		rx := NewReceiver(eng, path, conn)
+		demux.Add(rx)
+		conn.Start()
+		eng.Schedule(0, d.pump)
+		end += time.Second
+		eng.Run(end)
+		if got := rx.GoodBytes(); got != 64*1024 {
+			t.Fatalf("transaction %d delivered %v, want 64KB", i, got)
+		}
+		if !d.drained {
+			t.Fatalf("transaction %d never drained", i)
+		}
+		conn.Close()
+		conn.Close() // double-close per transaction must be safe
+		if err := conn.Err(); err != nil {
+			t.Fatalf("transaction %d failed: %v", i, err)
+		}
 	}
 }

@@ -50,7 +50,16 @@ type Receiver struct {
 	goodBytes units.DataSize // in-order bytes delivered (goodput)
 	dupPkts   uint64
 	acksSent  uint64
+
+	// onDelivery, when set, fires after OnPacket whenever rcvNxt advanced —
+	// the receive-side readable notification the simnet facade consumes.
+	onDelivery func()
 }
+
+// SetDeliveryListener installs the in-order-delivery hook. It runs after
+// the triggering packet has been released to the pool, so it may freely
+// schedule follow-on work.
+func (r *Receiver) SetDeliveryListener(fn func()) { r.onDelivery = fn }
 
 // NewReceiver builds the receiving endpoint for conn and registers the
 // connection's ACK-arrival handler on the path's per-flow return fast path.
@@ -65,6 +74,7 @@ func NewReceiver(eng *sim.Engine, path *netem.Path, conn *Conn) *Receiver {
 // point: its payload is absorbed into the reassembly state and the packet
 // object is released back to the pool before returning.
 func (r *Receiver) OnPacket(pkt *seg.Packet) {
+	prevNxt := r.rcvNxt
 	r.lastSentAt, r.lastRetx, r.lastEnd = pkt.SentAt, pkt.Retx, pkt.End()
 	r.haveLast = true
 	if pkt.CE {
@@ -96,6 +106,9 @@ func (r *Receiver) OnPacket(pkt *seg.Packet) {
 		r.sendAck(pkt.SentAt, pkt.Retx, pkt.End())
 	}
 	r.conn.pool.PutPacket(pkt)
+	if r.onDelivery != nil && r.rcvNxt > prevNxt {
+		r.onDelivery()
+	}
 }
 
 // covered reports whether the packet's range is already held out-of-order.
