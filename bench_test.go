@@ -13,6 +13,7 @@ import (
 
 	"mobbr/internal/core"
 	"mobbr/internal/device"
+	"mobbr/internal/flows"
 	"mobbr/internal/netem"
 	"mobbr/internal/repro"
 	"mobbr/internal/telemetry"
@@ -232,6 +233,38 @@ func BenchmarkEngineOverhead(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkManyFlows measures the million-flow data path: heavy-tailed
+// churn through the pooled conn lifecycle at 10k concurrent flows, with the
+// O(1) aggregate counters carrying all periodic accounting. It is the
+// regression guard for the churn machinery itself (pool recycling, demux
+// add/remove, flow-table lookups); the per-sample O(1) contract has its own
+// micro-benchmark in internal/flows (BenchmarkSamplePath).
+func BenchmarkManyFlows(b *testing.B) {
+	spec := core.Spec{CPU: device.LowEnd, CC: "bbr", Network: core.Ethernet,
+		// 2 s: the synchronized 10k-flow burst costs ~1 s of modeled CPU
+		// before the first completions, so a shorter run never recycles.
+		Duration: 2 * time.Second,
+		Flows: &flows.Config{
+			ArrivalRate:  2000,
+			MaxLive:      10_000,
+			InitialFlows: 10_000,
+			MiceBytes:    4 * units.KB,
+		}}
+	b.ReportAllocs()
+	var res *core.Result
+	for i := 0; i < b.N; i++ {
+		spec.Seed = int64(i + 1)
+		var err error
+		res, err = core.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Flows.Started), "flows-started")
+	b.ReportMetric(float64(res.Flows.Completed), "flows-completed")
+	b.ReportMetric(float64(res.Flows.Pool.Reuses)/float64(res.Flows.Pool.Gets), "pool-reuse")
 }
 
 // BenchmarkWiFiPath exercises the WiFi medium model under load.

@@ -89,6 +89,8 @@ func main() {
 		for _, e := range repro.All() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
+		sc := repro.Scale()
+		fmt.Printf("%-10s %s\n", sc.ID, sc.Title)
 		fmt.Printf("%-10s %s\n", rec.ID, rec.Title)
 		fmt.Printf("%-10s %s\n", "trace", "Trace replay: BBR vs BBRv2 vs Cubic over a measured or synthesized commute (-trace-file / -trace-preset)")
 		return

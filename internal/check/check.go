@@ -107,6 +107,10 @@ type Checker struct {
 	interval time.Duration
 
 	conns   []Auditable
+	dynamic func() []Auditable
+	stride  int
+	cursor  int
+	heldFn  func() int
 	prevs   map[int]prev
 	lastNow time.Duration
 	started bool
@@ -138,6 +142,31 @@ func New(eng *sim.Engine, ctx string, interval time.Duration) *Checker {
 
 // Watch adds a connection to the audit set.
 func (k *Checker) Watch(c Auditable) { k.conns = append(k.conns, c) }
+
+// WatchDynamic replaces the static audit set with a live view: each pass
+// asks src for the current population. Churn workloads use it — flows
+// come and go, so a list captured at assembly time would audit corpses
+// and miss newcomers. The returned slice is only read during the pass.
+func (k *Checker) WatchDynamic(src func() []Auditable) { k.dynamic = src }
+
+// SetAuditStride bounds one audit pass to at most n connections, visited
+// round-robin across passes (0, the default, audits all). Large dynamic
+// populations keep per-pass cost O(stride) instead of O(conns); every
+// connection is still reached every ⌈len/n⌉ passes. While striding, the
+// pool's ACK-conservation cross-check needs the global held count —
+// supply it with SetHeldAcks, or it is skipped.
+func (k *Checker) SetAuditStride(n int) { k.stride = n }
+
+// SetHeldAcks supplies the global CPU-held ACK count (typically
+// tcp.AggStats.HeldAcks, which also counts stopped connections still
+// draining). Without it the checker sums HeldAcks over the connections it
+// audited — exact only when a pass covers the full set.
+func (k *Checker) SetHeldAcks(fn func() int) { k.heldFn = fn }
+
+// Forget drops a retired connection's monotonic-counter history. Churn
+// workloads call it from their release path: ids are never reused, so
+// without pruning the watermark map grows with every flow ever started.
+func (k *Checker) Forget(id int) { delete(k.prevs, id) }
 
 // WatchPool adds the run's packet/ACK pool to the audit set. Each audit
 // pass surfaces the pool's own lifecycle violations (double releases,
@@ -205,18 +234,48 @@ func (k *Checker) CheckNow() {
 	if err := k.eng.CheckQueue(); err != nil {
 		k.report("engine/queue-depth", -1, "%v", err)
 	}
-	heldAcks := 0
-	for _, c := range k.conns {
-		a := c.Audit()
-		heldAcks += a.HeldAcks
-		k.auditConn(a)
+	conns := k.conns
+	if k.dynamic != nil {
+		conns = k.dynamic()
 	}
-	k.auditPool(heldAcks)
+	heldAcks := 0
+	full := true
+	if k.stride > 0 && len(conns) > k.stride {
+		// Amortized audit: a stride-sized round-robin window. The cursor
+		// is positional, not identity-based — under churn a swap-removed
+		// connection may be skipped or revisited one pass early, which
+		// only affects when it is next audited, never correctness.
+		full = false
+		if k.cursor >= len(conns) {
+			k.cursor = 0
+		}
+		for i := 0; i < k.stride; i++ {
+			a := conns[(k.cursor+i)%len(conns)].Audit()
+			heldAcks += a.HeldAcks
+			k.auditConn(a)
+		}
+		k.cursor = (k.cursor + k.stride) % len(conns)
+	} else {
+		for _, c := range conns {
+			a := c.Audit()
+			heldAcks += a.HeldAcks
+			k.auditConn(a)
+		}
+	}
+	if k.heldFn != nil {
+		k.auditPool(k.heldFn())
+	} else if full {
+		k.auditPool(heldAcks)
+	} else {
+		k.auditPool(-1)
+	}
 }
 
 // auditPool applies the memory-lifecycle invariants: the pool's own
 // violation log is drained into the checker, and its outstanding counts
-// must equal the holders' census.
+// must equal the holders' census. heldAcks < 0 means the global CPU-held
+// count is unknown this pass (strided audit without SetHeldAcks) — the
+// ACK-conservation check is skipped, the rest still runs.
 func (k *Checker) auditPool(heldAcks int) {
 	if k.pool == nil {
 		return
@@ -229,6 +288,9 @@ func (k *Checker) auditPool(heldAcks int) {
 	if inPath := k.poolPath.InTransit(); st.OutstandingPackets != inPath {
 		k.report("pool/conservation", -1,
 			"outstanding packets %d != path in-transit %d", st.OutstandingPackets, inPath)
+	}
+	if heldAcks < 0 {
+		return
 	}
 	if inFlight := k.poolPath.AckInFlight(); st.OutstandingAcks != inFlight+heldAcks {
 		k.report("pool/conservation", -1,

@@ -9,6 +9,7 @@ import (
 	"mobbr/internal/cc"
 	"mobbr/internal/cpumodel"
 	"mobbr/internal/netem"
+	"mobbr/internal/seg"
 	"mobbr/internal/sim"
 	"mobbr/internal/tcp"
 	"mobbr/internal/units"
@@ -210,6 +211,143 @@ func TestCorruptionCaught(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("no inflight/counter violation: %v", err)
+	}
+}
+
+// TestStridedAuditReachesAll: with a stride smaller than the population,
+// each pass audits a bounded window, but round-robin still reaches every
+// connection — a corrupt conn beyond the first window is caught within
+// ⌈len/stride⌉ passes.
+func TestStridedAuditReachesAll(t *testing.T) {
+	eng := sim.New(1)
+	k := New(eng, "stride", 0)
+	pop := make([]Auditable, 10)
+	for i := range pop {
+		a := healthy()
+		a.ID = i
+		if i == 7 {
+			a.SegsSent += 3 // conservation break hidden past the first window
+		}
+		pop[i] = &stubAudit{a}
+	}
+	k.WatchDynamic(func() []Auditable { return pop })
+	k.SetAuditStride(3)
+	k.CheckNow()
+	if err := k.Err(); err != nil {
+		t.Fatalf("first window already flagged: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		k.CheckNow()
+	}
+	err := k.Err()
+	if err == nil {
+		t.Fatal("strided audit never reached the corrupt conn")
+	}
+	var ce *Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("error is %T, want *check.Error", err)
+	}
+	if ce.Violations[0].Conn != 7 || ce.Violations[0].Rule != "conservation/packets" {
+		t.Fatalf("caught %v, want conservation/packets on conn 7", ce.Violations[0])
+	}
+}
+
+// TestStridedHeldAcks covers the pool ACK-conservation cross-check under
+// striding: a partial pass cannot sum the CPU-held count, so the check is
+// skipped unless SetHeldAcks supplies the global figure — and with it the
+// check is exact again.
+func TestStridedHeldAcks(t *testing.T) {
+	newStrided := func(t *testing.T) (*Checker, *seg.Pool) {
+		t.Helper()
+		eng := sim.New(1)
+		path, err := netem.EthernetLAN(eng, netem.TC{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := seg.NewPool()
+		pool.GetAck() // one ACK held behind a CPU somewhere, says the harness
+		k := New(eng, "held", 0)
+		pop := make([]Auditable, 8)
+		for i := range pop {
+			a := healthy()
+			a.ID = i
+			pop[i] = &stubAudit{a}
+		}
+		k.WatchDynamic(func() []Auditable { return pop })
+		k.SetAuditStride(2)
+		k.WatchPool(pool, path)
+		return k, pool
+	}
+
+	t.Run("skipped without heldFn", func(t *testing.T) {
+		k, _ := newStrided(t)
+		k.CheckNow()
+		if err := k.Err(); err != nil {
+			t.Fatalf("partial pass flagged the unknowable ACK census: %v", err)
+		}
+	})
+	t.Run("exact with heldFn", func(t *testing.T) {
+		k, _ := newStrided(t)
+		k.SetHeldAcks(func() int { return 1 })
+		k.CheckNow()
+		if err := k.Err(); err != nil {
+			t.Fatalf("correct global held count flagged: %v", err)
+		}
+	})
+	t.Run("mismatch caught with heldFn", func(t *testing.T) {
+		k, _ := newStrided(t)
+		k.SetHeldAcks(func() int { return 0 })
+		k.CheckNow()
+		err := k.Err()
+		if err == nil || !strings.Contains(err.Error(), "pool/conservation") {
+			t.Fatalf("ACK census mismatch not caught under striding: %v", err)
+		}
+	})
+}
+
+// TestForgetDropsWatermark: a retired flow's monotonic history is pruned,
+// so a fresh flow later audited under churn (or a stub whose counters
+// rewound after Forget) is not judged against the corpse's watermark.
+func TestForgetDropsWatermark(t *testing.T) {
+	eng := sim.New(1)
+	k := New(eng, "forget", 0)
+	s := &stubAudit{healthy()}
+	k.Watch(s)
+	k.CheckNow()
+	k.Forget(s.a.ID)
+	// Rewind as a recycled id would appear: small counters, still
+	// self-consistent.
+	s.a = tcp.Audit{ID: s.a.ID, Cwnd: 10, Ssthresh: 64, MaxCwnd: 180}
+	k.CheckNow()
+	if err := k.Err(); err != nil {
+		t.Fatalf("forgotten watermark still enforced: %v", err)
+	}
+}
+
+// TestDynamicPopulationChurn: the dynamic view is re-read each pass, so a
+// population that shrinks between passes must not trip the positional
+// cursor (regression guard for the cursor reset on shrink).
+func TestDynamicPopulationChurn(t *testing.T) {
+	eng := sim.New(1)
+	k := New(eng, "churn", 0)
+	pop := make([]Auditable, 9)
+	for i := range pop {
+		a := healthy()
+		a.ID = i
+		pop[i] = &stubAudit{a}
+	}
+	k.WatchDynamic(func() []Auditable { return pop })
+	k.SetAuditStride(4)
+	k.CheckNow()
+	k.CheckNow() // cursor now sits at 8
+	for _, c := range pop[2:] {
+		k.Forget(c.Audit().ID)
+	}
+	pop = pop[:2] // shrink below the cursor and the stride
+	k.CheckNow()
+	k.CheckNow()
+	if err := k.Err(); err != nil {
+		t.Fatalf("shrinking population flagged: %v", err)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"mobbr/internal/cpumodel"
 	"mobbr/internal/device"
 	"mobbr/internal/faults"
+	"mobbr/internal/flows"
 	"mobbr/internal/iperf"
 	"mobbr/internal/mastermod"
 	"mobbr/internal/mobility"
@@ -115,6 +116,12 @@ type Spec struct {
 	// clients over the simnet facade, reporting per-operation latency
 	// quantiles and rebuffer ratios in Result.App.
 	Workload apps.Workload
+	// Flows, when set, replaces the fixed connection set with the churn
+	// workload (internal/flows): open-loop Poisson arrivals, heavy-tailed
+	// elephant/mice sizes, FIN-on-completion recycling through a pooled
+	// conn lifecycle. Conns is ignored (the live population is dynamic);
+	// mutually exclusive with Workload. Results land in Result.Flows.
+	Flows *flows.Config
 	// Seed drives all randomness; runs are fully deterministic per seed.
 	Seed int64
 	// Faults is the fault-injection schedule applied to the path while
@@ -272,6 +279,17 @@ func (s Spec) Validate() error {
 	if err := s.Workload.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
+	if s.Flows != nil {
+		if s.Workload.Kind != "" {
+			return fmt.Errorf("core: Flows and Workload are mutually exclusive")
+		}
+		if s.Inject.Kind == InjectCorruptInflight {
+			return fmt.Errorf("core: inject %q needs a fixed connection set (Flows is set)", s.Inject.Kind)
+		}
+		if err := s.Flows.Validate(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
 	if err := s.Inject.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
@@ -330,7 +348,16 @@ type Result struct {
 	// workload (nil for bulk runs): request/chunk latency samples,
 	// completion counts, and viewer rebuffer accounting.
 	App *apps.Stats
+	// Flows is the churn-level outcome when Spec.Flows was set (nil
+	// otherwise): flow counts, FCT samples, conn-pool census, flow-table
+	// accounting.
+	Flows *flows.Stats
 }
+
+// flowsAuditStride bounds one invariant-checker pass under the churn
+// workload: at most this many connections audited per tick, round-robin,
+// so a 100k-flow run is not O(conns) every 50 ms of virtual time.
+const flowsAuditStride = 256
 
 // Run executes one experiment. It validates the spec, enforces the event
 // and wall-clock budgets, and — when spec.Check is set — fails with a
@@ -499,13 +526,17 @@ func Run(spec Spec) (*Result, error) {
 	var (
 		sess  *iperf.Session
 		asess *apps.Session
+		fsess *flows.Session
 	)
-	if spec.Workload.Kind != "" {
+	switch {
+	case spec.Flows != nil:
+		fsess, err = flows.New(eng, cpu, path, icfg, *spec.Flows)
+	case spec.Workload.Kind != "":
 		asess, err = apps.New(eng, cpu, path, icfg, spec.Workload)
 		if err == nil {
 			sess = asess.Iperf()
 		}
-	} else {
+	default:
 		sess, err = iperf.New(eng, cpu, path, icfg)
 	}
 	if err != nil {
@@ -515,17 +546,29 @@ func Run(spec Spec) (*Result, error) {
 	if spec.Check {
 		chk = check.New(eng, fmt.Sprintf("%s seed=%d", spec, spec.Seed), 0)
 		chk.SetBus(bus)
-		for _, c := range sess.Conns() {
-			chk.Watch(c)
+		if fsess != nil {
+			// The population churns, so the checker takes a live view,
+			// amortizes each pass over a bounded stride, reads the global
+			// held-ACK count from the O(1) aggregate (a partial pass
+			// cannot sum it), and prunes history as flows retire.
+			chk.WatchDynamic(fsess.Auditables)
+			chk.SetAuditStride(flowsAuditStride)
+			chk.SetHeldAcks(fsess.Aggregates().HeldAcks)
+			fsess.SetOnRetire(chk.Forget)
+		} else {
+			for _, c := range sess.Conns() {
+				chk.Watch(c)
+			}
 		}
 		if pool != nil {
 			chk.WatchPool(pool, path)
 		}
 		chk.Start()
 	}
-	if bus != nil {
+	if bus != nil && sess != nil {
 		// Periodic per-connection samples (cwnd, inflight, pacing rate,
-		// srtt, CC mode) interleaved with the transport events.
+		// srtt, CC mode) interleaved with the transport events. The churn
+		// workload has no fixed connection set to trace.
 		rec := trace.New(eng, sess.Conns(), 0)
 		rec.SetBus(bus)
 		rec.Start()
@@ -549,12 +592,16 @@ func Run(spec Spec) (*Result, error) {
 		coll = telemetry.StartEngineCollector(eng)
 	}
 	var (
-		report   *iperf.Report
-		appStats *apps.Stats
+		report    *iperf.Report
+		appStats  *apps.Stats
+		flowStats *flows.Stats
 	)
-	if asess != nil {
+	switch {
+	case asess != nil:
 		report, appStats = asess.Run()
-	} else {
+	case fsess != nil:
+		report, flowStats = fsess.Run()
+	default:
 		report = sess.Run()
 	}
 	if lerr := eng.LimitErr(); lerr != nil {
@@ -577,6 +624,7 @@ func Run(spec Spec) (*Result, error) {
 		Engine:    coll.Stop(),
 		Processed: eng.Processed(),
 		App:       appStats,
+		Flows:     flowStats,
 	}, nil
 }
 
@@ -598,6 +646,9 @@ type Aggregate struct {
 	// latency samples are pooled across seeds so grid quantiles have
 	// every completed operation behind them.
 	App *apps.Stats
+	// Flows folds the per-seed churn stats the same way (nil unless
+	// Spec.Flows was set): FCT samples pool, counters sum.
+	Flows *flows.Stats
 }
 
 // GoodputMbps returns the mean aggregate goodput in Mbps.
@@ -631,9 +682,12 @@ func RunSeeds(spec Spec, n int) (*Aggregate, error) {
 		agg.Runs = append(agg.Runs, res)
 	}
 	appRuns := make([]*apps.Stats, 0, len(agg.Runs))
+	flowRuns := make([]*flows.Stats, 0, len(agg.Runs))
 	for _, res := range agg.Runs {
 		appRuns = append(appRuns, res.App)
+		flowRuns = append(flowRuns, res.Flows)
 	}
 	agg.App = apps.Merge(appRuns)
+	agg.Flows = flows.Merge(flowRuns)
 	return agg, nil
 }

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"mobbr/internal/apps"
+	"mobbr/internal/device"
+	"mobbr/internal/flows"
+	"mobbr/internal/units"
+)
+
+// churnSpec is a small, fast churn run: mice-only traffic over the wired
+// LAN, sized so thousands of flows open and close within a couple of
+// simulated seconds.
+func churnSpec() Spec {
+	return Spec{
+		CPU:      device.Default,
+		CC:       "cubic",
+		Duration: 2 * time.Second,
+		Seed:     7,
+		Flows: &flows.Config{
+			ArrivalRate:   3000,
+			MaxLive:       32,
+			InitialFlows:  32,
+			MiceBytes:     2 * units.KB,
+			ElephantShare: 0.01,
+		},
+	}
+}
+
+// TestFlowsChurnDeterminism: the churn workload is seeded like everything
+// else — two runs of the same spec must agree on every counter, every FCT
+// sample, and the goodput figure.
+func TestFlowsChurnDeterminism(t *testing.T) {
+	spec := churnSpec()
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Flows == nil || b.Flows == nil {
+		t.Fatal("Result.Flows not populated for a churn spec")
+	}
+	if !reflect.DeepEqual(a.Flows, b.Flows) {
+		t.Errorf("same seed, different churn stats:\n a %+v\n b %+v", a.Flows, b.Flows)
+	}
+	if a.Report.Goodput != b.Report.Goodput {
+		t.Errorf("same seed, different goodput: %v vs %v", a.Report.Goodput, b.Report.Goodput)
+	}
+	if a.Flows.Completed == 0 {
+		t.Error("no flow completed; churn spec too tight to exercise anything")
+	}
+}
+
+// TestFlowsChurnPoolsBalanced is the 10k-cycle leak gate: thousands of
+// open/close cycles through the conn pool with the invariant checker armed,
+// and at the end both the conn pool and the packet pool balance to zero.
+func TestFlowsChurnPoolsBalanced(t *testing.T) {
+	spec := churnSpec()
+	spec.Duration = 5 * time.Second
+	spec.Flows.ArrivalRate = 4000
+	spec.Flows.MaxLive = 64
+	spec.Flows.InitialFlows = 64
+	spec.Check = true
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := res.Flows
+	if fs.Started < 10_000 {
+		t.Fatalf("only %d flows started, want ≥ 10000 open/close cycles", fs.Started)
+	}
+	if !fs.Pool.Balanced() {
+		t.Fatalf("conn pool not balanced after run: %+v", fs.Pool)
+	}
+	if fs.Pool.Gets != int(fs.Started) || fs.Pool.Puts != fs.Pool.Gets {
+		t.Fatalf("pool gets/puts %d/%d, want both equal to started %d",
+			fs.Pool.Gets, fs.Pool.Puts, fs.Started)
+	}
+	if fs.Pool.Created > fs.Pool.OutstandingHW {
+		t.Errorf("pool created %d pairs, more than peak concurrency %d — reuse is broken",
+			fs.Pool.Created, fs.Pool.OutstandingHW)
+	}
+	if got := fs.Started - fs.Completed - fs.Failed - int64(fs.Canceled); got != 0 {
+		t.Errorf("flow census does not close: started %d != completed %d + failed %d + canceled %d",
+			fs.Started, fs.Completed, fs.Failed, fs.Canceled)
+	}
+	if rep := res.Report; rep.Pool.OutstandingPackets != 0 || rep.Pool.OutstandingAcks != 0 {
+		t.Errorf("segment pool leaks %d packets / %d acks",
+			rep.Pool.OutstandingPackets, rep.Pool.OutstandingAcks)
+	}
+}
+
+// TestFlowsTombstonedAcks is the idempotent-close regression test for the
+// churn edge: under loss plus reordering, a delayed original and its
+// retransmission race, the receiver sees the data twice, and the second
+// copy's duplicate ACK is generated after the cumulative ACK that completed
+// (and retired) the flow. That late ACK must hit the path's tombstone
+// (counted), never a recycled connection — and late data for a removed flow
+// must land in the demux orphan count. The armed checker proves neither
+// leaks pool objects nor corrupts a recycled conn's accounting.
+func TestFlowsTombstonedAcks(t *testing.T) {
+	spec := churnSpec()
+	spec.TC.Loss = 0.03
+	spec.TC.ReorderJitter = 3 * time.Millisecond
+	spec.Duration = 3 * time.Second
+	spec.Check = true
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flows.Completed == 0 {
+		t.Fatal("no completions; the tombstone path was never exercised")
+	}
+	if res.Flows.TombstonedAcks == 0 {
+		t.Error("no tombstoned ACKs; the late-ACK retirement edge is not being exercised")
+	}
+	if res.Flows.Orphans == 0 {
+		t.Error("no orphaned data packets; the late-data retirement edge is not being exercised")
+	}
+}
+
+// TestFlowsSpecJSONRoundTrip proves the churn config survives the spec
+// codec field-for-field and encodes deterministically.
+func TestFlowsSpecJSONRoundTrip(t *testing.T) {
+	spec := Spec{
+		Device:   device.Pixel6,
+		CPU:      device.MidEnd,
+		CC:       "bbr",
+		Duration: 1300 * time.Millisecond,
+		Network:  WiFi,
+		Seed:     42,
+		Check:    true,
+		Flows: &flows.Config{
+			ArrivalRate:      2500,
+			MaxLive:          4096,
+			InitialFlows:     512,
+			MiceBytes:        8 * units.KB,
+			MiceSigma:        0.7,
+			ElephantShare:    0.08,
+			ParetoAlpha:      1.5,
+			ElephantMinBytes: 2 * units.MB,
+			MaxFlowBytes:     32 * units.MB,
+			FlowTableSlots:   256,
+			OffloadThreshold: 16,
+		},
+	}
+	data, err := EncodeSpec(spec)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeSpec(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, spec) {
+		t.Fatalf("round trip diverged:\n got  %+v\n want %+v", got, spec)
+	}
+	again, err := EncodeSpec(got)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if string(again) != string(data) {
+		t.Fatalf("re-encode diverged:\n first  %s\n second %s", data, again)
+	}
+}
+
+// TestFlowsValidation: the churn workload excludes the fixed-set-only
+// features, and malformed flows configs are rejected before assembly.
+func TestFlowsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"workload", func(s *Spec) { s.Workload = apps.Workload{Kind: apps.KindReqRep} }, "mutually exclusive"},
+		{"inject corrupt", func(s *Spec) { s.Inject = Inject{Kind: InjectCorruptInflight} }, "fixed connection set"},
+		{"negative initial", func(s *Spec) { s.Flows.InitialFlows = -1 }, "initial flows"},
+		{"elephant share", func(s *Spec) { s.Flows.ElephantShare = 1.5 }, "elephant share"},
+		{"negative slots", func(s *Spec) { s.Flows.FlowTableSlots = -2 }, "flow-table slots"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := churnSpec()
+			tc.mut(&spec)
+			err := spec.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestFlowsRunSeedsMerge: the multi-seed aggregate folds churn stats —
+// counters sum and FCT samples pool across seeds.
+func TestFlowsRunSeedsMerge(t *testing.T) {
+	spec := churnSpec()
+	spec.Duration = time.Second
+	agg, err := RunSeeds(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Flows == nil {
+		t.Fatal("Aggregate.Flows not populated")
+	}
+	var started int64
+	var fct int
+	for _, r := range agg.Runs {
+		started += r.Flows.Started
+		fct += len(r.Flows.FCTms)
+	}
+	if agg.Flows.Started != started {
+		t.Errorf("merged started %d != per-seed sum %d", agg.Flows.Started, started)
+	}
+	if len(agg.Flows.FCTms) != fct {
+		t.Errorf("merged FCT samples %d != per-seed sum %d", len(agg.Flows.FCTms), fct)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"mobbr/internal/apps"
 	"mobbr/internal/device"
 	"mobbr/internal/faults"
+	"mobbr/internal/flows"
 	"mobbr/internal/mobility"
 	"mobbr/internal/netem"
 	"mobbr/internal/telemetry"
@@ -213,6 +214,23 @@ type workloadWire struct {
 	DownBps   int64   `json:"down_rate_bps,omitempty"`
 }
 
+// flowsWire mirrors flows.Config. Absent from the wire (nil pointer)
+// means the fixed connection set, so every pre-churn corpus entry and
+// journal replays unchanged.
+type flowsWire struct {
+	ArrivalRate      float64 `json:"arrival_rate,omitempty"`
+	MaxLive          int     `json:"max_live,omitempty"`
+	InitialFlows     int     `json:"initial_flows,omitempty"`
+	MiceBytes        int64   `json:"mice_bytes,omitempty"`
+	MiceSigma        float64 `json:"mice_sigma,omitempty"`
+	ElephantShare    float64 `json:"elephant_share,omitempty"`
+	ParetoAlpha      float64 `json:"pareto_alpha,omitempty"`
+	ElephantMinBytes int64   `json:"elephant_min_bytes,omitempty"`
+	MaxFlowBytes     int64   `json:"max_flow_bytes,omitempty"`
+	FlowTableSlots   int     `json:"flow_table_slots,omitempty"`
+	OffloadThreshold int     `json:"offload_threshold,omitempty"`
+}
+
 // telemetryWire mirrors telemetry.Config.
 type telemetryWire struct {
 	Trace     bool `json:"trace,omitempty"`
@@ -250,6 +268,7 @@ type specWire struct {
 	Inject          *injectWire    `json:"inject,omitempty"`
 	Telemetry       *telemetryWire `json:"telemetry,omitempty"`
 	Workload        *workloadWire  `json:"workload,omitempty"`
+	Flows           *flowsWire     `json:"flows,omitempty"`
 }
 
 // EncodeSpec renders the spec as compact, round-trippable JSON.
@@ -338,6 +357,21 @@ func EncodeSpec(s Spec) ([]byte, error) {
 			ww.LadderBps = append(ww.LadderBps, int64(r))
 		}
 		w.Workload = &ww
+	}
+	if s.Flows != nil {
+		w.Flows = &flowsWire{
+			ArrivalRate:      s.Flows.ArrivalRate,
+			MaxLive:          s.Flows.MaxLive,
+			InitialFlows:     s.Flows.InitialFlows,
+			MiceBytes:        int64(s.Flows.MiceBytes),
+			MiceSigma:        s.Flows.MiceSigma,
+			ElephantShare:    s.Flows.ElephantShare,
+			ParetoAlpha:      s.Flows.ParetoAlpha,
+			ElephantMinBytes: int64(s.Flows.ElephantMinBytes),
+			MaxFlowBytes:     int64(s.Flows.MaxFlowBytes),
+			FlowTableSlots:   s.Flows.FlowTableSlots,
+			OffloadThreshold: s.Flows.OffloadThreshold,
+		}
 	}
 	return json.Marshal(w)
 }
@@ -445,6 +479,21 @@ func DecodeSpec(data []byte) (Spec, error) {
 		}
 		for _, r := range w.Workload.LadderBps {
 			s.Workload.Ladder = append(s.Workload.Ladder, units.Bandwidth(r))
+		}
+	}
+	if w.Flows != nil {
+		s.Flows = &flows.Config{
+			ArrivalRate:      w.Flows.ArrivalRate,
+			MaxLive:          w.Flows.MaxLive,
+			InitialFlows:     w.Flows.InitialFlows,
+			MiceBytes:        units.DataSize(w.Flows.MiceBytes),
+			MiceSigma:        w.Flows.MiceSigma,
+			ElephantShare:    w.Flows.ElephantShare,
+			ParetoAlpha:      w.Flows.ParetoAlpha,
+			ElephantMinBytes: units.DataSize(w.Flows.ElephantMinBytes),
+			MaxFlowBytes:     units.DataSize(w.Flows.MaxFlowBytes),
+			FlowTableSlots:   w.Flows.FlowTableSlots,
+			OffloadThreshold: w.Flows.OffloadThreshold,
 		}
 	}
 	return s, nil

@@ -42,12 +42,17 @@ const (
 	// OpDataCopy is the tcp_sendmsg copy-from-user work, charged per
 	// byte on the application core (not the softirq core).
 	OpDataCopy
+	// OpFlowLookup is the per-ACK flow-table demux: a hash-slot hit on
+	// the offloaded fast path, or a slow-path walk for flows below the
+	// offload threshold (see FlowTable). Only charged when a flow table
+	// is attached — classic iperf runs never pay it.
+	OpFlowLookup
 	numOps
 )
 
 var opNames = [numOps]string{
 	"seg_xmit", "skb_xmit", "pacing_timer", "ack_process", "cc_update",
-	"retransmit", "rto", "data_copy",
+	"retransmit", "rto", "data_copy", "flow_lookup",
 }
 
 // String returns the operation's short name.
@@ -73,6 +78,11 @@ type Costs struct {
 	// CopyPerByte is the tcp_sendmsg copy+checksum cost per payload
 	// byte, executed in process context on the application core.
 	CopyPerByte float64
+	// FlowLookupFast / FlowLookupSlow are the per-ACK flow-table demux
+	// costs: a perfect-hash hit in the offloaded table versus the
+	// software slow-path walk (FlowTable decides which applies).
+	FlowLookupFast float64
+	FlowLookupSlow float64
 }
 
 // DefaultCosts returns the calibrated cost table. The values were fitted so
@@ -99,11 +109,17 @@ func DefaultCosts() Costs {
 		// ~6.6 cycles per byte: copy_from_user plus checksum on an
 		// in-order core with the payload missing cache.
 		CopyPerByte: 7.0,
+		// Flow-table demux: an offloaded hit is a few cache lines; the
+		// software slow path hashes, walks a bucket chain and touches
+		// cold per-flow state.
+		FlowLookupFast: 400,
+		FlowLookupSlow: 2600,
 	}
 }
 
 // Of returns the cost of op from the table. OpCCUpdate returns 0 because the
-// congestion controller supplies its own per-ACK cost.
+// congestion controller supplies its own per-ACK cost; OpFlowLookup returns 0
+// because the FlowTable decides fast versus slow path per lookup.
 func (c Costs) Of(op Op) float64 {
 	switch op {
 	case OpSegXmit:

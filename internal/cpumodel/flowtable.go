@@ -1,0 +1,100 @@
+package cpumodel
+
+// FlowTable is the fast-path/slow-path flow-demux cost model from the
+// SmartNIC offload literature: the NIC (or a software flow cache) holds a
+// bounded table of offloaded flows whose per-packet lookup is cheap; every
+// other flow pays the software slow path. A flow is promoted into the fast
+// path once it has shown `threshold` lookups (the per-flow offload
+// threshold — mice never amortize an offload insertion, elephants do) and
+// there is a free slot. Retired flows must be removed so churn does not
+// permanently exhaust the table.
+//
+// The table does not schedule work itself: the transport asks LookupCost
+// per arriving ACK and charges the returned cycles to the CPU. All state is
+// deterministic — maps are only read/written by key, never iterated.
+type FlowTable struct {
+	slots     int
+	threshold int
+	costFast  float64
+	costSlow  float64
+
+	fast map[int]struct{} // offloaded flows
+	pkts map[int]int      // slow-path lookups seen per live flow
+
+	fastHits   uint64
+	slowHits   uint64
+	promotions uint64
+	occHW      int
+}
+
+// NewFlowTable builds a table with the given fast-path capacity and
+// promotion threshold, drawing lookup costs from the table. slots <= 0
+// means no fast path at all (every lookup is slow); threshold <= 0
+// promotes on first sight.
+func NewFlowTable(slots, threshold int, costs Costs) *FlowTable {
+	return &FlowTable{
+		slots:     slots,
+		threshold: threshold,
+		costFast:  costs.FlowLookupFast,
+		costSlow:  costs.FlowLookupSlow,
+		fast:      make(map[int]struct{}),
+		pkts:      make(map[int]int),
+	}
+}
+
+// LookupCost accounts one demux for flow and returns its cycle cost: the
+// fast-path cost when the flow is offloaded, otherwise the slow-path cost —
+// counting the lookup toward promotion.
+func (t *FlowTable) LookupCost(flow int) float64 {
+	if _, ok := t.fast[flow]; ok {
+		t.fastHits++
+		return t.costFast
+	}
+	t.slowHits++
+	n := t.pkts[flow] + 1
+	t.pkts[flow] = n
+	if n >= t.threshold && t.slots > 0 && len(t.fast) < t.slots {
+		t.fast[flow] = struct{}{}
+		t.promotions++
+		delete(t.pkts, flow)
+		if occ := len(t.fast); occ > t.occHW {
+			t.occHW = occ
+		}
+	}
+	return t.costSlow
+}
+
+// Remove retires a flow, freeing its fast-path slot (if any) for the next
+// promotion. Call on flow completion; without it churn leaks slots.
+func (t *FlowTable) Remove(flow int) {
+	delete(t.fast, flow)
+	delete(t.pkts, flow)
+}
+
+// FlowTableStats is a snapshot of the table's accounting.
+type FlowTableStats struct {
+	// FastHits / SlowHits count lookups by path taken.
+	FastHits, SlowHits uint64
+	// Promotions counts slow→fast offload insertions.
+	Promotions uint64
+	// Occupied is the current fast-path occupancy; OccupancyHW its
+	// high-water mark; Slots the capacity.
+	Occupied, OccupancyHW, Slots int
+}
+
+// FastShare returns the fraction of lookups served by the fast path.
+func (s FlowTableStats) FastShare() float64 {
+	total := s.FastHits + s.SlowHits
+	if total == 0 {
+		return 0
+	}
+	return float64(s.FastHits) / float64(total)
+}
+
+// Stats returns a snapshot of the table's accounting.
+func (t *FlowTable) Stats() FlowTableStats {
+	return FlowTableStats{
+		FastHits: t.fastHits, SlowHits: t.slowHits, Promotions: t.promotions,
+		Occupied: len(t.fast), OccupancyHW: t.occHW, Slots: t.slots,
+	}
+}

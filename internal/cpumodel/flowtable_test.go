@@ -1,0 +1,91 @@
+package cpumodel
+
+import "testing"
+
+func ftCosts() Costs {
+	c := DefaultCosts()
+	c.FlowLookupFast = 100
+	c.FlowLookupSlow = 1000
+	return c
+}
+
+func TestFlowTablePromotionAtThreshold(t *testing.T) {
+	ft := NewFlowTable(4, 3, ftCosts())
+	// Two slow lookups stay slow; the third promotes, the fourth is fast.
+	for i := 0; i < 3; i++ {
+		if got := ft.LookupCost(7); got != 1000 {
+			t.Fatalf("lookup %d: cost %v, want slow 1000", i+1, got)
+		}
+	}
+	if got := ft.LookupCost(7); got != 100 {
+		t.Fatalf("post-promotion cost %v, want fast 100", got)
+	}
+	st := ft.Stats()
+	if st.SlowHits != 3 || st.FastHits != 1 || st.Promotions != 1 {
+		t.Fatalf("stats = %+v, want 3 slow / 1 fast / 1 promotion", st)
+	}
+	if st.Occupied != 1 || st.OccupancyHW != 1 {
+		t.Fatalf("occupancy = %d (hw %d), want 1 (hw 1)", st.Occupied, st.OccupancyHW)
+	}
+}
+
+func TestFlowTableSlotCapBlocksPromotion(t *testing.T) {
+	ft := NewFlowTable(1, 1, ftCosts())
+	ft.LookupCost(1) // promotes into the only slot
+	for i := 0; i < 5; i++ {
+		if got := ft.LookupCost(2); got != 1000 {
+			t.Fatalf("flow 2 lookup %d: cost %v, want slow (table full)", i+1, got)
+		}
+	}
+	st := ft.Stats()
+	if st.Promotions != 1 || st.Occupied != 1 {
+		t.Fatalf("stats = %+v, want exactly one promotion", st)
+	}
+	// Removing the occupant frees the slot for the waiting flow.
+	ft.Remove(1)
+	if ft.Stats().Occupied != 0 {
+		t.Fatal("Remove did not free the slot")
+	}
+	if got := ft.LookupCost(2); got != 1000 {
+		t.Fatalf("promoting lookup itself still charges slow, got %v", got)
+	}
+	if got := ft.LookupCost(2); got != 100 {
+		t.Fatalf("flow 2 not promoted after slot freed, cost %v", got)
+	}
+}
+
+func TestFlowTableRemoveClearsSlowPathCount(t *testing.T) {
+	ft := NewFlowTable(4, 3, ftCosts())
+	ft.LookupCost(9)
+	ft.LookupCost(9)
+	ft.Remove(9) // retire before promotion
+	// A recycled appearance of the id starts its count over.
+	ft.LookupCost(9)
+	ft.LookupCost(9)
+	if st := ft.Stats(); st.Promotions != 0 {
+		t.Fatalf("promotions = %d after Remove reset, want 0", st.Promotions)
+	}
+}
+
+func TestFlowTableNoFastPath(t *testing.T) {
+	ft := NewFlowTable(0, 1, ftCosts())
+	for i := 0; i < 10; i++ {
+		if got := ft.LookupCost(3); got != 1000 {
+			t.Fatalf("slots=0 lookup cost %v, want slow", got)
+		}
+	}
+	st := ft.Stats()
+	if st.FastHits != 0 || st.Promotions != 0 {
+		t.Fatalf("slots=0 stats = %+v, want no fast path activity", st)
+	}
+}
+
+func TestFlowTableFastShare(t *testing.T) {
+	if got := (FlowTableStats{}).FastShare(); got != 0 {
+		t.Fatalf("empty FastShare = %v, want 0", got)
+	}
+	s := FlowTableStats{FastHits: 3, SlowHits: 1}
+	if got := s.FastShare(); got != 0.75 {
+		t.Fatalf("FastShare = %v, want 0.75", got)
+	}
+}

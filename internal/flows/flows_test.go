@@ -1,0 +1,115 @@
+package flows
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"mobbr/internal/cpumodel"
+	"mobbr/internal/tcp"
+	"mobbr/internal/units"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	d := Config{}.WithDefaults()
+	if d.ArrivalRate != 1000 || d.MaxLive != 10000 || d.MiceBytes != 20*units.KB {
+		t.Fatalf("unexpected defaults: %+v", d)
+	}
+	if d.FlowTableSlots != 1024 || d.OffloadThreshold != 32 {
+		t.Fatalf("unexpected flow-table defaults: %+v", d)
+	}
+	// Explicit values survive defaulting.
+	c := Config{ArrivalRate: 5, MaxLive: 2, FlowTableSlots: -0}.WithDefaults()
+	if c.ArrivalRate != 5 || c.MaxLive != 2 {
+		t.Fatalf("explicit values clobbered: %+v", c)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config invalid: %v", err)
+	}
+	bad := []Config{
+		{ArrivalRate: math.NaN()},
+		{ArrivalRate: -5},
+		{ArrivalRate: math.Inf(1)},
+		{InitialFlows: -1},
+		{ElephantShare: -0.1},
+		{ElephantShare: 1.1},
+		{ElephantMinBytes: 8 * units.MB, MaxFlowBytes: 1 * units.MB},
+		{FlowTableSlots: -1},
+		{OffloadThreshold: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d passed validation: %+v", i, c)
+		}
+	}
+}
+
+func TestFCTP(t *testing.T) {
+	s := &Stats{FCTms: []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}}
+	if got := s.FCTP(50); got < 5 || got > 6 {
+		t.Errorf("FCTP(50) = %v, want within [5,6]", got)
+	}
+	if got := s.FCTP(100); got != 10 {
+		t.Errorf("FCTP(100) = %v, want 10", got)
+	}
+	empty := &Stats{}
+	if got := empty.FCTP(99); got != 0 {
+		t.Errorf("empty FCTP(99) = %v, want 0", got)
+	}
+}
+
+func TestMergeNil(t *testing.T) {
+	if got := Merge(nil); got != nil {
+		t.Fatalf("Merge(nil) = %+v, want nil", got)
+	}
+	if got := Merge([]*Stats{nil, nil}); got != nil {
+		t.Fatalf("Merge of all-nil = %+v, want nil", got)
+	}
+}
+
+func TestMergeFolds(t *testing.T) {
+	a := &Stats{
+		Started: 10, Completed: 8, Failed: 1, Rejected: 3, Canceled: 1,
+		PeakLive: 7, AvgLive: 4,
+		FCTms:          []float64{5, 1},
+		TombstonedAcks: 2, Orphans: 1,
+		Pool:      tcp.ConnPoolStats{Created: 3, Gets: 10, Reuses: 7, Puts: 10, OutstandingHW: 7},
+		FlowTable: cpumodel.FlowTableStats{FastHits: 100, SlowHits: 50, Promotions: 2, OccupancyHW: 2, Slots: 16},
+	}
+	b := &Stats{
+		Started: 20, Completed: 19, PeakLive: 5, AvgLive: 2,
+		FCTms:     []float64{3},
+		Pool:      tcp.ConnPoolStats{Created: 1, Gets: 20, Reuses: 19, Puts: 20, OutstandingHW: 5},
+		FlowTable: cpumodel.FlowTableStats{FastHits: 10, SlowHits: 90, OccupancyHW: 4, Slots: 16},
+	}
+	got := Merge([]*Stats{a, nil, b})
+	if got.Started != 30 || got.Completed != 27 || got.Failed != 1 || got.Rejected != 3 || got.Canceled != 1 {
+		t.Errorf("counters did not sum: %+v", got)
+	}
+	if got.PeakLive != 7 {
+		t.Errorf("PeakLive = %d, want max 7", got.PeakLive)
+	}
+	if got.AvgLive != 3 {
+		t.Errorf("AvgLive = %v, want mean 3", got.AvgLive)
+	}
+	if want := []float64{1, 3, 5}; !reflect.DeepEqual(got.FCTms, want) {
+		t.Errorf("FCTms = %v, want pooled sorted %v", got.FCTms, want)
+	}
+	if !sort.Float64sAreSorted(got.FCTms) {
+		t.Error("merged FCT samples not sorted")
+	}
+	if got.Pool.Gets != 30 || got.Pool.Created != 4 || got.Pool.OutstandingHW != 7 {
+		t.Errorf("pool census did not fold: %+v", got.Pool)
+	}
+	if got.FlowTable.FastHits != 110 || got.FlowTable.SlowHits != 140 ||
+		got.FlowTable.OccupancyHW != 4 || got.FlowTable.Slots != 16 {
+		t.Errorf("flow table did not fold: %+v", got.FlowTable)
+	}
+	if got.TombstonedAcks != 2 || got.Orphans != 1 {
+		t.Errorf("edge counters did not fold: %+v", got)
+	}
+}

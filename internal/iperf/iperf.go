@@ -80,6 +80,13 @@ type Session struct {
 	conns []*tcp.Conn
 	rxs   []*tcp.Receiver
 
+	// agg is the run-wide O(1) counter sink: warmup snapshots and interval
+	// reports read it instead of walking every connection, so the periodic
+	// paths cost the same at 4 connections and at 100k. Collect still walks
+	// once at run end (per-conn columns need it), and tests assert the
+	// counter equals the walk exactly.
+	agg *tcp.AggStats
+
 	warmupBytes units.DataSize
 	rttSamples  stats.Online
 	cwndSamples stats.Online
@@ -124,7 +131,7 @@ func New(eng *sim.Engine, cpu *cpumodel.CPU, path *netem.Path, cfg Config) (*Ses
 	if cfg.CC == nil && len(cfg.CCMix) == 0 {
 		return nil, fmt.Errorf("iperf: Config.CC or Config.CCMix is required")
 	}
-	s := &Session{eng: eng, cpu: cpu, path: path, cfg: cfg}
+	s := &Session{eng: eng, cpu: cpu, path: path, cfg: cfg, agg: &tcp.AggStats{}}
 	// Cache/TLB pressure grows gently with the number of hot sockets.
 	pressure := 1 + 0.05*math.Log(float64(cfg.Conns))
 	cpu.SetPressure(pressure)
@@ -145,6 +152,7 @@ func New(eng *sim.Engine, cpu *cpumodel.CPU, path *netem.Path, cfg Config) (*Ses
 		}
 		conn := tcp.NewConn(i, eng, cpu, path, tcfg, factory)
 		conn.SetPool(cfg.Pool)
+		conn.SetAggregates(s.agg)
 		if cfg.Stream {
 			conn.SetStream()
 		}
@@ -181,7 +189,8 @@ func (s *Session) Start() {
 	}
 	if s.cfg.Warmup > 0 {
 		s.eng.Schedule(s.cfg.Warmup, func() {
-			s.warmupBytes = s.totalGoodBytes()
+			// The O(1) counter is integer-identical to totalGoodBytes().
+			s.warmupBytes = s.agg.GoodBytes()
 		})
 	}
 }
@@ -201,12 +210,17 @@ func (s *Session) sample() {
 // recordInterval closes one reporting interval and schedules the next.
 func (s *Session) recordInterval() {
 	now := s.eng.Now()
-	bytes := s.totalGoodBytes()
-	var retx int64
+	// Goodput and retransmits come from the O(1) aggregate counters
+	// (maintained at delivery/ACK time, integer-identical to the walks
+	// they replaced). The RTT column is a snapshot of each connection's
+	// current srtt — a poll by definition — and iperf's per-conn loop
+	// stays for it; the scale workload (internal/flows) reports the
+	// aggregate per-ACK RTT mean instead.
+	bytes := s.agg.GoodBytes()
+	retx := s.agg.Retransmits()
 	var rtt stats.Online
 	for _, c := range s.conns {
 		st := c.Stats()
-		retx += st.Retransmits
 		if st.SRTT > 0 {
 			rtt.Add(float64(st.SRTT))
 		}
@@ -224,6 +238,9 @@ func (s *Session) recordInterval() {
 	s.eng.Schedule(s.cfg.Interval, s.recordInterval)
 }
 
+// totalGoodBytes is the slow O(conns) walk the aggregate counter replaced
+// on the periodic paths; Collect's one-shot end-of-run pass still uses the
+// per-receiver values, and tests assert counter == walk exactly.
 func (s *Session) totalGoodBytes() units.DataSize {
 	var n units.DataSize
 	for _, rx := range s.rxs {
@@ -231,6 +248,10 @@ func (s *Session) totalGoodBytes() units.DataSize {
 	}
 	return n
 }
+
+// Aggregates exposes the run-wide O(1) counter sink (for harnesses layered
+// on the session and for equality tests against the slow walks).
+func (s *Session) Aggregates() *tcp.AggStats { return s.agg }
 
 // Run executes the whole experiment on the engine and returns the report.
 func (s *Session) Run() *Report {

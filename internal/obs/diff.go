@@ -58,6 +58,10 @@ type Delta struct {
 	// per-point CIs, so thresholding them would gate on seed noise.
 	LatA, LatB float64
 	HasApp     bool
+	// FCTA/FCTB are mean flow-completion-time p99s in ms (flow-churn
+	// points only) — context, never gating, for the same reason.
+	FCTA, FCTB float64
+	HasFlows   bool
 	// SpecDrift counts aligned points whose archived spec bytes differ
 	// (e.g. a deliberately perturbed knob) — informational, not gating.
 	SpecDrift int
@@ -196,6 +200,7 @@ type cellAcc struct {
 	retxA, retxB     []float64
 	paceA, paceB     []float64
 	latA, latB       []float64
+	fctA, fctB       []float64
 }
 
 func (c *cellAcc) add(pr pair) {
@@ -225,6 +230,10 @@ func (c *cellAcc) add(pr pair) {
 	if pr.a.Metrics.AppKind != "" && pr.b.Metrics.AppKind != "" {
 		c.latA = append(c.latA, pr.a.Metrics.LatP99ms)
 		c.latB = append(c.latB, pr.b.Metrics.LatP99ms)
+	}
+	if pr.a.Metrics.FlowsStarted > 0 && pr.b.Metrics.FlowsStarted > 0 {
+		c.fctA = append(c.fctA, pr.a.Metrics.FCTP99ms)
+		c.fctB = append(c.fctB, pr.b.Metrics.FCTP99ms)
 	}
 }
 
@@ -257,6 +266,10 @@ func (c *cellAcc) delta(exp string, cell Cell, opts DiffOpts) Delta {
 	if len(c.latA) > 0 {
 		d.HasApp = true
 		d.LatA, d.LatB = stats.Mean(c.latA), stats.Mean(c.latB)
+	}
+	if len(c.fctA) > 0 {
+		d.HasFlows = true
+		d.FCTA, d.FCTB = stats.Mean(c.fctA), stats.Mean(c.fctB)
 	}
 	d.FailureRegressed = c.failedB > c.failedA
 	if len(c.goodA) > 0 {
@@ -315,8 +328,13 @@ func WriteDeltas(w io.Writer, deltas []Delta) error {
 			verdict = "improved"
 		}
 		extra := ""
+		if d.HasFlows {
+			// Flow-churn context rides in the trailer: the FCT p99 has no
+			// per-point CI, so it informs but never gates.
+			extra += fmt.Sprintf("  [fct p99 %.1f → %.1f ms]", d.FCTA, d.FCTB)
+		}
 		if d.SpecDrift > 0 {
-			extra = fmt.Sprintf("  [spec drift on %d point(s)]", d.SpecDrift)
+			extra += fmt.Sprintf("  [spec drift on %d point(s)]", d.SpecDrift)
 		}
 		fmt.Fprintf(w, "%-10s %-32s %4d %10.1f → %-10.1f %8s %7.0f → %-7.0f %14s %18s %s%s\n",
 			d.Exp, d.Cell, d.Points, d.GoodA, d.GoodB, pct, d.RetxA, d.RetxB, pace, lat, verdict, extra)

@@ -101,6 +101,16 @@ type Metrics struct {
 	LatP90ms    float64 `json:"lat_p90_ms,omitempty"`
 	LatP99ms    float64 `json:"lat_p99_ms,omitempty"`
 	RebufferPct float64 `json:"rebuffer_pct,omitempty"`
+	// FlowsStarted through FastPathShare are the flow-churn grid's metrics
+	// ("scale"): flows admitted/completed, peak concurrency,
+	// flow-completion-time percentiles and the flow-table fast-path share.
+	// Non-churn points omit them all.
+	FlowsStarted   int64   `json:"flows_started,omitempty"`
+	FlowsCompleted int64   `json:"flows_completed,omitempty"`
+	FlowsPeakLive  int     `json:"flows_peak_live,omitempty"`
+	FCTP50ms       float64 `json:"fct_p50_ms,omitempty"`
+	FCTP99ms       float64 `json:"fct_p99_ms,omitempty"`
+	FastPathShare  float64 `json:"fast_path_share,omitempty"`
 	// RecoveryMs / RecoveryCI / Recovered are the recovery experiment's
 	// metrics.
 	RecoveryMs float64 `json:"recovery_ms,omitempty"`

@@ -75,6 +75,10 @@ type CellRollup struct {
 	// rebuffer shares (%) of app-workload points only.
 	LatP99s []float64
 	Rebufs  []float64
+	// FCT99s / FastShares hold per-point flow-completion-time p99s (ms)
+	// and flow-table fast-path shares of flow-churn points only.
+	FCT99s     []float64
+	FastShares []float64
 	// GoodputCIs mirrors Goodputs with each point's own 95% CI.
 	GoodputCIs []float64
 	// Digest is the cell-wide merge of the points' instrument digests.
@@ -115,6 +119,10 @@ func Rollup(r *Run) []CellRollup {
 			cr.LatP99s = append(cr.LatP99s, p.Metrics.LatP99ms)
 			cr.Rebufs = append(cr.Rebufs, p.Metrics.RebufferPct)
 		}
+		if p.Metrics.FlowsStarted > 0 {
+			cr.FCT99s = append(cr.FCT99s, p.Metrics.FCTP99ms)
+			cr.FastShares = append(cr.FastShares, p.Metrics.FastPathShare)
+		}
 		cr.DigestSkipped += p.DigestSkipped
 		digestNames := make([]string, 0, len(p.Digest))
 		for name := range p.Digest {
@@ -142,7 +150,8 @@ func Rollup(r *Run) []CellRollup {
 // across the cell's grid points, mean retransmissions, mean pacing share
 // (profiled points only), and — when digests are present — the merged
 // pacing-timer slip p99. Cells holding app-workload points additionally
-// render the mean request-latency p99 and rebuffer share.
+// render the mean request-latency p99 and rebuffer share; cells holding
+// flow-churn points the mean FCT p99 and flow-table fast-path share.
 func WriteRollup(w io.Writer, r *Run, cells []CellRollup) error {
 	if _, err := fmt.Fprintf(w, "== rollup %s: %d points, %d cells (seeds=%d dur=%s)\n",
 		r.Manifest.Exp, r.Manifest.Points, len(cells), r.Manifest.Seeds, r.Manifest.Dur); err != nil {
@@ -150,12 +159,16 @@ func WriteRollup(w io.Writer, r *Run, cells []CellRollup) error {
 	}
 	hasDigest := false
 	hasApp := false
+	hasFlows := false
 	for i := range cells {
 		if len(cells[i].Digest) > 0 {
 			hasDigest = true
 		}
 		if len(cells[i].LatP99s) > 0 {
 			hasApp = true
+		}
+		if len(cells[i].FCT99s) > 0 {
+			hasFlows = true
 		}
 	}
 	fmt.Fprintf(w, "%-32s %4s %4s %9s %9s %9s %9s %7s", "cell", "pts", "fail",
@@ -165,6 +178,9 @@ func WriteRollup(w io.Writer, r *Run, cells []CellRollup) error {
 	}
 	if hasApp {
 		fmt.Fprintf(w, " %10s %6s", "req p99 ms", "rbuf%")
+	}
+	if hasFlows {
+		fmt.Fprintf(w, " %10s %6s", "fct p99 ms", "fast%")
 	}
 	fmt.Fprintln(w)
 	for i := range cells {
@@ -191,6 +207,14 @@ func WriteRollup(w io.Writer, r *Run, cells []CellRollup) error {
 				rbuf = fmt.Sprintf("%.2f", stats.Mean(c.Rebufs))
 			}
 			fmt.Fprintf(w, " %10s %6s", lat, rbuf)
+		}
+		if hasFlows {
+			fct, fast := "-", "-"
+			if len(c.FCT99s) > 0 {
+				fct = fmt.Sprintf("%.1f", stats.Mean(c.FCT99s))
+				fast = fmt.Sprintf("%.1f", stats.Mean(c.FastShares)*100)
+			}
+			fmt.Fprintf(w, " %10s %6s", fct, fast)
 		}
 		if c.DigestSkipped > 0 {
 			fmt.Fprintf(w, "  (%d digest histograms skipped: mismatched bounds)", c.DigestSkipped)

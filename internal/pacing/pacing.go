@@ -103,6 +103,13 @@ func New(cfg Config) *Pacer {
 // Config returns the pacer's effective configuration.
 func (p *Pacer) Config() Config { return p.cfg }
 
+// Reset re-initializes the pacer in place for a recycled connection's next
+// flow: configuration is replaced, all sampled state clears, and any
+// attached instruments carry over.
+func (p *Pacer) Reset(cfg Config) {
+	*p = Pacer{cfg: cfg.withDefaults(), skbHist: p.skbHist, gapHist: p.gapHist}
+}
+
 // SetInstruments attaches telemetry histograms: skb observes bytes per send
 // (the send quantum), gap observes the pacing idle time in ms. nil
 // instruments no-op, so the hot path pays only nil-checks when disabled.

@@ -75,25 +75,31 @@ func BuildExperimentRun(e Experiment, rows []Row, o ArchiveOpts) (*obs.Run, erro
 		}
 		if r.Failure == nil {
 			rec.Metrics = obs.Metrics{
-				GoodputMbps:  r.GoodputMbps,
-				GoodputCI:    r.GoodputCI,
-				RTTms:        r.RTTms,
-				MinRTTms:     r.MinRTTms,
-				Retransmits:  r.Retransmits,
-				SKBKbits:     r.SKBKbits,
-				IdleMs:       r.IdleMs,
-				ExpectedMbps: r.ExpectedMbps,
-				MaxBufKB:     r.MaxBufKB,
-				CPUUtil:      r.CPUUtil,
-				Jain:         r.Jain,
-				PacingShare:  r.PacingShare,
-				Profiled:     r.Profiled,
-				AppKind:      r.AppKind,
-				Requests:     r.Requests,
-				LatP50ms:     r.LatP50ms,
-				LatP90ms:     r.LatP90ms,
-				LatP99ms:     r.LatP99ms,
-				RebufferPct:  r.RebufferPct,
+				GoodputMbps:    r.GoodputMbps,
+				GoodputCI:      r.GoodputCI,
+				RTTms:          r.RTTms,
+				MinRTTms:       r.MinRTTms,
+				Retransmits:    r.Retransmits,
+				SKBKbits:       r.SKBKbits,
+				IdleMs:         r.IdleMs,
+				ExpectedMbps:   r.ExpectedMbps,
+				MaxBufKB:       r.MaxBufKB,
+				CPUUtil:        r.CPUUtil,
+				Jain:           r.Jain,
+				PacingShare:    r.PacingShare,
+				Profiled:       r.Profiled,
+				AppKind:        r.AppKind,
+				Requests:       r.Requests,
+				LatP50ms:       r.LatP50ms,
+				LatP90ms:       r.LatP90ms,
+				LatP99ms:       r.LatP99ms,
+				RebufferPct:    r.RebufferPct,
+				FlowsStarted:   r.FlowsStarted,
+				FlowsCompleted: r.FlowsCompleted,
+				FlowsPeakLive:  r.FlowsPeakLive,
+				FCTP50ms:       r.FCTP50ms,
+				FCTP99ms:       r.FCTP99ms,
+				FastPathShare:  r.FastPathShare,
 			}
 		}
 		if r.Sample != nil {

@@ -11,6 +11,7 @@ import (
 	"mobbr/internal/apps"
 	"mobbr/internal/core"
 	"mobbr/internal/device"
+	"mobbr/internal/flows"
 	"mobbr/internal/netem"
 	"mobbr/internal/units"
 )
@@ -374,6 +375,64 @@ func Apps() Experiment {
 	return Experiment{ID: "apps", Title: "Application workloads over simnet: request latency and rebuffering", Points: pts}
 }
 
+// Scale is the million-flow data path grid: open-loop Poisson flow churn
+// with a heavy-tailed elephant/mice size mix through the pooled conn
+// lifecycle (internal/flows), reporting flow-completion-time percentiles,
+// peak concurrency and the fast-path share of the flow-table cost model.
+// The square crosses CC × CPU at 10k live flows; the live sweep holds the
+// per-slot turnover fixed while growing the live set 1k→100k (per-sample
+// accounting must stay O(1) for the 100k point to fit the run budget); the
+// churn sweep holds 10k live and scales the arrival rate 0.5×/2×/8×. It is
+// deliberately not part of All() — it measures the harness's data path,
+// not a paper figure — and runs with -exp scale.
+func Scale() Experiment {
+	churn := func(cfg device.Config, ccName string, live int, arrival float64, check bool) core.Spec {
+		s := baseSpec(cfg, ccName, 1) // Conns is ignored when Flows is set
+		s.Flows = &flows.Config{
+			ArrivalRate:  arrival,
+			MaxLive:      live,
+			InitialFlows: live, // steady-state concurrency from t=0
+			// 4 KB mice: at 10k live flows sharing a CPU-bound ~400 Mbps,
+			// each flow gets ~40 kbps, so a mouse completes in about a
+			// second and the live set genuinely turns over within the
+			// default 4 s horizon (the stock 20 KB mice would all get cut
+			// off by the run end and the churn sweep would show nothing).
+			MiceBytes: 4 * units.KB,
+		}
+		s.Check = check
+		return s
+	}
+	const live10k = 10_000
+	// base is the arrival rate at 10k live: 0.2 flows/s per slot, the same
+	// per-slot turnover the live sweep holds fixed across 1k→100k.
+	const base = 2000.0
+	var pts []Point
+	for _, cfg := range []device.Config{device.LowEnd, device.Default} {
+		for _, ccName := range []string{"cubic", "bbr"} {
+			// The invariant checker (strided audits + O(1) pool
+			// cross-check) arms on the Low-End cells, where CPU contention
+			// makes lifecycle bugs likeliest.
+			pts = append(pts, Point{
+				Label: fmt.Sprintf("10k %s/%s", cfg, ccName),
+				Spec:  churn(cfg, ccName, live10k, base, cfg == device.LowEnd),
+			})
+		}
+	}
+	for _, live := range []int{1_000, 100_000} {
+		pts = append(pts, Point{
+			Label: fmt.Sprintf("%dk Low-End/bbr", live/1000),
+			Spec:  churn(device.LowEnd, "bbr", live, float64(live)/5, false),
+		})
+	}
+	for _, mult := range []float64{0.5, 2, 8} {
+		pts = append(pts, Point{
+			Label: fmt.Sprintf("churn %gx 10k Low-End/bbr", mult),
+			Spec:  churn(device.LowEnd, "bbr", live10k, base*mult, mult == 8),
+		})
+	}
+	return Experiment{ID: "scale", Title: "Million-flow churn: FCT percentiles, pool reuse, flow-table fast path", Points: pts}
+}
+
 // All returns every experiment in paper order.
 func All() []Experiment {
 	return []Experiment{
@@ -387,6 +446,11 @@ func All() []Experiment {
 
 // ByID returns the experiment with the given id.
 func ByID(id string) (Experiment, error) {
+	// The scale grid resolves by id only: keeping it out of All() keeps
+	// -exp all output byte-identical to before the flows data path existed.
+	if id == "scale" {
+		return Scale(), nil
+	}
 	for _, e := range All() {
 		if e.ID == id {
 			return e, nil

@@ -255,56 +255,68 @@ func headerFor(e Experiment, opts RunOpts) journalHeader {
 // Go's float64 round-trips exactly through encoding/json, so a resumed row
 // prints byte-identically to the original.
 type journalEntry struct {
-	I            int      `json:"i"`
-	Label        string   `json:"label"`
-	GoodputMbps  float64  `json:"goodput_mbps"`
-	GoodputCI    float64  `json:"goodput_ci"`
-	RTTms        float64  `json:"rtt_ms"`
-	MinRTTms     float64  `json:"min_rtt_ms"`
-	Retransmits  float64  `json:"retransmits"`
-	SKBKbits     float64  `json:"skb_kbits"`
-	IdleMs       float64  `json:"idle_ms"`
-	ExpectedMbps float64  `json:"expected_mbps"`
-	MaxBufKB     float64  `json:"max_buf_kb"`
-	CPUUtil      float64  `json:"cpu_util"`
-	Jain         float64  `json:"jain"`
-	PacingShare  float64  `json:"pacing_share"`
-	AppKind      string   `json:"app_kind,omitempty"`
-	Requests     int64    `json:"requests,omitempty"`
-	LatP50ms     float64  `json:"lat_p50_ms,omitempty"`
-	LatP90ms     float64  `json:"lat_p90_ms,omitempty"`
-	LatP99ms     float64  `json:"lat_p99_ms,omitempty"`
-	RebufferPct  float64  `json:"rebuffer_pct,omitempty"`
-	Events       uint64   `json:"events,omitempty"`
-	Profiled     bool     `json:"profiled,omitempty"`
-	Failure      *Failure `json:"failure,omitempty"`
+	I              int      `json:"i"`
+	Label          string   `json:"label"`
+	GoodputMbps    float64  `json:"goodput_mbps"`
+	GoodputCI      float64  `json:"goodput_ci"`
+	RTTms          float64  `json:"rtt_ms"`
+	MinRTTms       float64  `json:"min_rtt_ms"`
+	Retransmits    float64  `json:"retransmits"`
+	SKBKbits       float64  `json:"skb_kbits"`
+	IdleMs         float64  `json:"idle_ms"`
+	ExpectedMbps   float64  `json:"expected_mbps"`
+	MaxBufKB       float64  `json:"max_buf_kb"`
+	CPUUtil        float64  `json:"cpu_util"`
+	Jain           float64  `json:"jain"`
+	PacingShare    float64  `json:"pacing_share"`
+	AppKind        string   `json:"app_kind,omitempty"`
+	Requests       int64    `json:"requests,omitempty"`
+	LatP50ms       float64  `json:"lat_p50_ms,omitempty"`
+	LatP90ms       float64  `json:"lat_p90_ms,omitempty"`
+	LatP99ms       float64  `json:"lat_p99_ms,omitempty"`
+	RebufferPct    float64  `json:"rebuffer_pct,omitempty"`
+	FlowsStarted   int64    `json:"flows_started,omitempty"`
+	FlowsCompleted int64    `json:"flows_completed,omitempty"`
+	FlowsPeakLive  int      `json:"flows_peak_live,omitempty"`
+	FCTP50ms       float64  `json:"fct_p50_ms,omitempty"`
+	FCTP99ms       float64  `json:"fct_p99_ms,omitempty"`
+	FastPathShare  float64  `json:"fast_path_share,omitempty"`
+	Events         uint64   `json:"events,omitempty"`
+	Profiled       bool     `json:"profiled,omitempty"`
+	Failure        *Failure `json:"failure,omitempty"`
 }
 
 func entryFromRow(i int, r Row) journalEntry {
 	return journalEntry{
-		I:            i,
-		Label:        r.Point.Label,
-		GoodputMbps:  r.GoodputMbps,
-		GoodputCI:    r.GoodputCI,
-		RTTms:        r.RTTms,
-		MinRTTms:     r.MinRTTms,
-		Retransmits:  r.Retransmits,
-		SKBKbits:     r.SKBKbits,
-		IdleMs:       r.IdleMs,
-		ExpectedMbps: r.ExpectedMbps,
-		MaxBufKB:     r.MaxBufKB,
-		CPUUtil:      r.CPUUtil,
-		Jain:         r.Jain,
-		PacingShare:  r.PacingShare,
-		AppKind:      r.AppKind,
-		Requests:     r.Requests,
-		LatP50ms:     r.LatP50ms,
-		LatP90ms:     r.LatP90ms,
-		LatP99ms:     r.LatP99ms,
-		RebufferPct:  r.RebufferPct,
-		Events:       r.Events,
-		Profiled:     r.Profiled,
-		Failure:      r.Failure,
+		I:              i,
+		Label:          r.Point.Label,
+		GoodputMbps:    r.GoodputMbps,
+		GoodputCI:      r.GoodputCI,
+		RTTms:          r.RTTms,
+		MinRTTms:       r.MinRTTms,
+		Retransmits:    r.Retransmits,
+		SKBKbits:       r.SKBKbits,
+		IdleMs:         r.IdleMs,
+		ExpectedMbps:   r.ExpectedMbps,
+		MaxBufKB:       r.MaxBufKB,
+		CPUUtil:        r.CPUUtil,
+		Jain:           r.Jain,
+		PacingShare:    r.PacingShare,
+		AppKind:        r.AppKind,
+		Requests:       r.Requests,
+		LatP50ms:       r.LatP50ms,
+		LatP90ms:       r.LatP90ms,
+		LatP99ms:       r.LatP99ms,
+		RebufferPct:    r.RebufferPct,
+		FlowsStarted:   r.FlowsStarted,
+		FlowsCompleted: r.FlowsCompleted,
+		FlowsPeakLive:  r.FlowsPeakLive,
+		FCTP50ms:       r.FCTP50ms,
+		FCTP99ms:       r.FCTP99ms,
+		FastPathShare:  r.FastPathShare,
+		Events:         r.Events,
+		Profiled:       r.Profiled,
+		Failure:        r.Failure,
 	}
 }
 
@@ -312,28 +324,34 @@ func entryFromRow(i int, r Row) journalEntry {
 // result is gone — but every printed field survives.
 func (ent journalEntry) row(p Point) Row {
 	return Row{
-		Point:        p,
-		GoodputMbps:  ent.GoodputMbps,
-		GoodputCI:    ent.GoodputCI,
-		RTTms:        ent.RTTms,
-		MinRTTms:     ent.MinRTTms,
-		Retransmits:  ent.Retransmits,
-		SKBKbits:     ent.SKBKbits,
-		IdleMs:       ent.IdleMs,
-		ExpectedMbps: ent.ExpectedMbps,
-		MaxBufKB:     ent.MaxBufKB,
-		CPUUtil:      ent.CPUUtil,
-		Jain:         ent.Jain,
-		PacingShare:  ent.PacingShare,
-		AppKind:      ent.AppKind,
-		Requests:     ent.Requests,
-		LatP50ms:     ent.LatP50ms,
-		LatP90ms:     ent.LatP90ms,
-		LatP99ms:     ent.LatP99ms,
-		RebufferPct:  ent.RebufferPct,
-		Events:       ent.Events,
-		Profiled:     ent.Profiled,
-		Failure:      ent.Failure,
+		Point:          p,
+		GoodputMbps:    ent.GoodputMbps,
+		GoodputCI:      ent.GoodputCI,
+		RTTms:          ent.RTTms,
+		MinRTTms:       ent.MinRTTms,
+		Retransmits:    ent.Retransmits,
+		SKBKbits:       ent.SKBKbits,
+		IdleMs:         ent.IdleMs,
+		ExpectedMbps:   ent.ExpectedMbps,
+		MaxBufKB:       ent.MaxBufKB,
+		CPUUtil:        ent.CPUUtil,
+		Jain:           ent.Jain,
+		PacingShare:    ent.PacingShare,
+		AppKind:        ent.AppKind,
+		Requests:       ent.Requests,
+		LatP50ms:       ent.LatP50ms,
+		LatP90ms:       ent.LatP90ms,
+		LatP99ms:       ent.LatP99ms,
+		RebufferPct:    ent.RebufferPct,
+		FlowsStarted:   ent.FlowsStarted,
+		FlowsCompleted: ent.FlowsCompleted,
+		FlowsPeakLive:  ent.FlowsPeakLive,
+		FCTP50ms:       ent.FCTP50ms,
+		FCTP99ms:       ent.FCTP99ms,
+		FastPathShare:  ent.FastPathShare,
+		Events:         ent.Events,
+		Profiled:       ent.Profiled,
+		Failure:        ent.Failure,
 	}
 }
 

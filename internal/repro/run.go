@@ -52,6 +52,18 @@ type Row struct {
 	LatP90ms    float64
 	LatP99ms    float64
 	RebufferPct float64
+	// FlowsStarted through FastPathShare are the churn grid's metrics
+	// ("scale", Spec.Flows): flows admitted and completed across the
+	// point's seeds, peak concurrency, flow-completion-time percentiles
+	// pooled over every completed flow, and the fast-path share of
+	// flow-table lookups. FlowsStarted > 0 marks a flows point; like the
+	// app columns they survive the checkpoint journal.
+	FlowsStarted   int64
+	FlowsCompleted int64
+	FlowsPeakLive  int
+	FCTP50ms       float64
+	FCTP99ms       float64
+	FastPathShare  float64
 	// Events is the total simulator events executed across the point's
 	// seeds. Deterministic per spec+seed, so it survives the checkpoint
 	// journal and the run archive unchanged.
@@ -190,6 +202,14 @@ func rowFromAggregate(p Point, agg *core.Aggregate) Row {
 		row.LatP99ms = agg.App.LatP(99)
 		row.RebufferPct = agg.App.RebufferRatio * 100
 	}
+	if agg.Flows != nil {
+		row.FlowsStarted = agg.Flows.Started
+		row.FlowsCompleted = agg.Flows.Completed
+		row.FlowsPeakLive = agg.Flows.PeakLive
+		row.FCTP50ms = agg.Flows.FCTP(50)
+		row.FCTP99ms = agg.Flows.FCTP(99)
+		row.FastPathShare = agg.Flows.FlowTable.FastShare()
+	}
 	return row
 }
 
@@ -197,16 +217,22 @@ func rowFromAggregate(p Point, agg *core.Aggregate) Row {
 // where the text states them. A pace% column (pacing-timer share of
 // netstack cycles) appears when any row carries a cycle profile;
 // application columns (requests, latency percentiles, rebuffer share)
-// appear when any row ran an app workload.
+// appear when any row ran an app workload; flow-churn columns (flows
+// started/done, peak concurrency, FCT percentiles, fast-path share) when
+// any row ran the flows workload.
 func Print(w io.Writer, e Experiment, rows []Row) {
 	profiled := false
 	hasApp := false
+	hasFlows := false
 	for _, r := range rows {
 		if r.Profiled || (r.Sample != nil && r.Sample.Profile != nil) {
 			profiled = true
 		}
 		if r.AppKind != "" {
 			hasApp = true
+		}
+		if r.FlowsStarted > 0 {
+			hasFlows = true
 		}
 	}
 	fmt.Fprintf(w, "== %s: %s\n", e.ID, e.Title)
@@ -218,6 +244,10 @@ func Print(w io.Writer, e Experiment, rows []Row) {
 	if hasApp {
 		fmt.Fprintf(w, " %7s %7s %8s %8s %8s %6s",
 			"app", "reqs", "p50 ms", "p90 ms", "p99 ms", "rbuf%")
+	}
+	if hasFlows {
+		fmt.Fprintf(w, " %8s %8s %8s %9s %9s %6s",
+			"flows", "done", "peak", "fct50 ms", "fct99 ms", "fast%")
 	}
 	fmt.Fprintln(w)
 	for _, r := range rows {
@@ -250,6 +280,15 @@ func Print(w io.Writer, e Experiment, rows []Row) {
 					r.AppKind, r.Requests, r.LatP50ms, r.LatP90ms, r.LatP99ms, r.RebufferPct)
 			} else {
 				fmt.Fprintf(w, " %7s %7s %8s %8s %8s %6s", "-", "-", "-", "-", "-", "-")
+			}
+		}
+		if hasFlows {
+			if r.FlowsStarted > 0 {
+				fmt.Fprintf(w, " %8d %8d %8d %9.1f %9.1f %6.1f",
+					r.FlowsStarted, r.FlowsCompleted, r.FlowsPeakLive,
+					r.FCTP50ms, r.FCTP99ms, r.FastPathShare*100)
+			} else {
+				fmt.Fprintf(w, " %8s %8s %8s %9s %9s %6s", "-", "-", "-", "-", "-", "-")
 			}
 		}
 		fmt.Fprintln(w)

@@ -22,8 +22,16 @@ func (c *Conn) OnAckArrival(a *seg.Ack) {
 		return
 	}
 	costs := c.cpu.Costs()
+	if c.ftab != nil {
+		// Flow-table demux: fast-path hit or slow-path walk, with
+		// promotion past the offload threshold (SmartNIC cost model).
+		c.cpu.Submit(cpumodel.OpFlowLookup, c.ftab.LookupCost(c.id), nil)
+	}
 	c.cpu.Submit(cpumodel.OpAckProcess, costs.AckProcess, nil)
 	c.pendingAcks.Push(a)
+	if c.agg != nil {
+		c.agg.heldAcks++
+	}
 	c.cpu.SubmitP(cpumodel.OpCCUpdate, c.ccMod.AckCost(), c.processAckFn, a)
 }
 
@@ -33,8 +41,12 @@ func (c *Conn) OnAckArrival(a *seg.Ack) {
 // the scoreboard copies the ranges it needs, never the slice.
 func (c *Conn) processAck(a *seg.Ack) {
 	c.pendingAcks.Remove(a)
+	if c.agg != nil {
+		c.agg.heldAcks--
+	}
 	if c.done {
 		c.pool.PutAck(a)
+		c.maybeQuiet()
 		return
 	}
 	now := c.eng.Now()
@@ -251,6 +263,10 @@ func (c *Conn) undoSpuriousRTO() {
 func (c *Conn) updateRTT(rtt time.Duration) {
 	c.lastRTT = rtt
 	c.rttSample.Add(float64(rtt))
+	if c.agg != nil {
+		c.agg.rttSum += rtt
+		c.agg.rttN++
+	}
 	if c.srtt == 0 {
 		c.srtt = rtt
 		c.rttvar = rtt / 2

@@ -123,6 +123,18 @@ type Conn struct {
 	bus *telemetry.Bus
 	met *telemetry.ConnMetrics
 
+	// agg, when set, is the run-wide O(1) aggregate counter sink
+	// (SetAggregates); ftab, when set, is the NIC flow-table cost model
+	// charged per arriving ACK (SetFlowTable). Both nil by default.
+	agg  *AggStats
+	ftab *cpumodel.FlowTable
+
+	// onQuiet, when set, fires once a stopped connection has fully
+	// quiesced: no pending ACKs behind the CPU model, no outstanding
+	// transmit or app-copy job. The conn pool uses it to decide when a
+	// released connection is safe to recycle.
+	onQuiet func()
+
 	// Timer callbacks cached at construction so the hot re-arm paths
 	// (pacing gate, RTO, TSQ retry, watchdog) never allocate a closure or
 	// method value per event.
@@ -189,6 +201,11 @@ func NewConn(id int, eng *sim.Engine, cpu *cpumodel.CPU, path *netem.Path, cfg C
 
 // SetPool attaches the run's packet/ACK pool. Call before Start.
 func (c *Conn) SetPool(pool *seg.Pool) { c.pool = pool }
+
+// SetFlowTable attaches the NIC/netstack flow-table cost model: every
+// arriving ACK is charged a per-flow lookup (fast-path hit or slow-path
+// walk, with promotion past the offload threshold). Call before Start.
+func (c *Conn) SetFlowTable(t *cpumodel.FlowTable) { c.ftab = t }
 
 // allocInfo takes a zeroed scoreboard entry from the connection's freelist.
 func (c *Conn) allocInfo() *pktInfo {
@@ -325,6 +342,7 @@ func (c *Conn) appPump() {
 	c.appCPU.Submit(cpumodel.OpDataCopy, cost, func() {
 		c.appBusy = false
 		if c.done {
+			c.maybeQuiet()
 			return
 		}
 		c.buffered += chunk
@@ -780,6 +798,7 @@ func (c *Conn) snapshot(p *pktInfo) {
 func (c *Conn) emit(paceFrom time.Duration, retx []*pktInfo, newSegs int) {
 	c.xmitBusy = false
 	if c.done {
+		c.maybeQuiet()
 		return
 	}
 	now := c.eng.Now()
@@ -803,6 +822,9 @@ func (c *Conn) emit(paceFrom time.Duration, retx []*pktInfo, newSegs int) {
 		c.snapshot(p)
 		c.inflight++
 		c.retransTotal++
+		if c.agg != nil {
+			c.agg.retransmits++
+		}
 		bytes += p.len
 		sent++
 		c.path.Send(c.mkPacket(p))
@@ -1108,7 +1130,109 @@ func (c *Conn) Audit() Audit {
 // pool. The run harness calls it after the engine stops — the processAck
 // events that would have consumed them never fire past the run horizon.
 func (c *Conn) ReclaimAcks() {
+	if c.agg != nil {
+		c.agg.heldAcks -= c.pendingAcks.Len()
+	}
 	c.pendingAcks.Drain(c.pool.PutAck)
+}
+
+// ForceQuiesce drains a stopped connection's remaining work markers after
+// the engine has halted: the CPU-completion events that would clear
+// xmitBusy/appBusy and consume pendingAcks never fire past the run
+// horizon, so held ACKs go back to the pool and the busy flags drop.
+// Only the run-end reclaim may call this; mid-run it would recycle a
+// connection with live events pointed at it.
+func (c *Conn) ForceQuiesce() {
+	c.ReclaimAcks()
+	c.xmitBusy, c.appBusy = false, false
+	c.onQuiet = nil
+}
+
+// Quiescent reports whether a stopped connection has fully wound down: no
+// ACKs parked behind the CPU model, no outstanding transmit batch, no
+// in-flight app copy. Only a quiescent connection may be recycled — its
+// remaining scheduled events (stopped-timer residue, TSQ retries) all hit
+// done-guards and touch no per-flow state.
+func (c *Conn) Quiescent() bool {
+	return c.done && c.pendingAcks.Len() == 0 && !c.xmitBusy && !c.appBusy
+}
+
+// SetQuietCallback installs fn to fire once the (stopped) connection
+// reaches quiescence; if it is already quiescent, fn fires immediately.
+// One-shot: the callback is cleared before it runs.
+func (c *Conn) SetQuietCallback(fn func()) {
+	c.onQuiet = fn
+	c.maybeQuiet()
+}
+
+// maybeQuiet fires the one-shot quiet callback when the last piece of
+// outstanding work drains from a stopped connection. Hooked at the three
+// done-guard paths that clear pendingAcks/xmitBusy/appBusy.
+func (c *Conn) maybeQuiet() {
+	if c.onQuiet != nil && c.Quiescent() {
+		fn := c.onQuiet
+		c.onQuiet = nil
+		fn()
+	}
+}
+
+// Reset re-initializes a stopped, quiescent connection for reuse as a new
+// flow with a fresh id — the churn fast path: the scoreboard entry
+// freelist, batch buffers and slice capacities all carry over, so a reused
+// connection allocates almost nothing. The congestion module is built fresh
+// from factory (its state machine is not reusable across flows); the pacer
+// is reset in place. Callers must re-register the new id with the demux and
+// the path's ACK return (Receiver.Reset does both) — ids are never reused,
+// so a late event aimed at the old incarnation cannot alias the new one.
+func (c *Conn) Reset(id int, factory cc.Factory) {
+	if !c.Quiescent() {
+		panic(fmt.Sprintf("tcp: Reset of non-quiescent conn %d (done=%v heldAcks=%d xmitBusy=%v appBusy=%v)",
+			c.id, c.done, c.pendingAcks.Len(), c.xmitBusy, c.appBusy))
+	}
+	// Hand surviving scoreboard entries (lost/sacked, never cum-acked)
+	// back to the connection-private freelist before clearing the board.
+	for i := c.board.head; i < len(c.board.entries); i++ {
+		c.freeInfo(c.board.entries[i])
+	}
+	c.board.entries = c.board.entries[:0]
+	c.board.head = 0
+
+	c.id = id
+	c.ccMod = factory()
+	c.sndNxt, c.sndUna = 0, 0
+	c.inflight = 0
+	c.cwnd = c.cfg.InitialCwnd
+	c.ssthresh = 1 << 30
+	c.pacingRate = 0
+	c.state = cc.StateOpen
+	c.recoveryPoint = 0
+	c.delivered, c.deliveredTime, c.firstTx = 0, 0, 0
+	c.appLimited, c.lostTotal, c.retransTotal, c.ceTotal = 0, 0, 0, 0
+	c.lastECEResponse = 0
+	c.srtt, c.rttvar, c.lastRTT = 0, 0, 0
+	c.minRTT.Reset()
+	c.rtoBackoff = 0
+	c.cwndLimited = false
+	c.started, c.done = false, false
+	c.segsSent, c.lastSendAt, c.lastProgress = 0, 0, 0
+	c.failedErr = nil
+	c.spuriousRTOs, c.idleRestarts = 0, 0
+	c.undoValid, c.undoCwnd, c.undoSsthresh, c.undoAt = false, 0, 0, 0
+	c.appSent = 0
+	c.stream, c.streamTotal, c.streamEnd = false, 0, 0
+	c.closing, c.drainedFired, c.kicked = false, false, false
+	c.onWritable, c.onDrained, c.onFailed, c.onQuiet = nil, nil, nil, nil
+	c.buffered, c.appCopied = 0, 0
+	c.maxBufOcc = 0
+	c.rttSample = stats.Online{}
+
+	pcfg := c.cfg.Pacing
+	pcfg.Enabled = c.ccMod.WantsPacing()
+	if c.cfg.PacingOverride != nil {
+		pcfg.Enabled = *c.cfg.PacingOverride
+	}
+	c.pacer.Reset(pcfg)
+	c.ccMod.Init(c)
 }
 
 // CorruptInflightForTest deliberately skews the inflight counter so tests

@@ -1,0 +1,182 @@
+package tcp
+
+import (
+	"fmt"
+
+	"mobbr/internal/cc"
+	"mobbr/internal/cpumodel"
+	"mobbr/internal/netem"
+	"mobbr/internal/seg"
+	"mobbr/internal/sim"
+)
+
+// ConnPool recycles Conn/Receiver pairs across flow churn, modeled on
+// seg.Pool's leak-audited discipline: every Get is matched by a Put, the
+// pool counts what is outstanding, and a run ends balanced — zero live,
+// zero dying — or the audit says exactly what leaked.
+//
+// Lifecycle state machine (see DESIGN.md "million-flow data path"):
+//
+//	free ──Get(id)──▶ live ──Put──▶ dying ──quiescent──▶ free
+//	                                  │
+//	                                  └─Reclaim (run end)──▶ free
+//
+// Put stops the connection but must NOT recycle it immediately: ACKs the
+// network already delivered may still sit behind the CPU model
+// (pendingAcks), and a transmit or app-copy completion may still be
+// scheduled. Recycling earlier would let those events mutate the *next*
+// flow's state. The conn therefore parks in the dying set until its quiet
+// callback fires (pendingAcks empty, no busy jobs), and only then returns
+// to the free list. ACKs still in network flight are the path's problem:
+// callers retire the flow id (netem.Path.RetireFlow) before Put, so late
+// ACKs hit a tombstone, never a recycled conn.
+//
+// Ids are never reused; each Get takes a fresh flow id, which keeps the
+// demux map, the path's per-flow ACK table and the invariant checker's
+// history unambiguous under churn.
+type ConnPool struct {
+	eng     *sim.Engine
+	cpu     *cpumodel.CPU
+	appCPU  *cpumodel.CPU
+	path    *netem.Path
+	cfg     Config
+	segPool *seg.Pool
+	agg     *AggStats
+	ftab    *cpumodel.FlowTable
+
+	free  []*PooledConn
+	dying []*PooledConn
+
+	created       int
+	gets, reuses  int
+	puts          int
+	outstanding   int
+	outstandingHW int
+}
+
+// PooledConn is one recyclable Conn/Receiver pair.
+type PooledConn struct {
+	Conn *Conn
+	Rx   *Receiver
+
+	dyingIdx int // index in the pool's dying set, -1 otherwise
+}
+
+// NewConnPool builds a pool that stamps every connection with the given
+// engine, CPUs, path, transport config, segment pool and (optional)
+// aggregate sink and flow table. appCPU, agg and ftab may be nil.
+func NewConnPool(eng *sim.Engine, cpu, appCPU *cpumodel.CPU, path *netem.Path,
+	cfg Config, segPool *seg.Pool, agg *AggStats, ftab *cpumodel.FlowTable) *ConnPool {
+	return &ConnPool{
+		eng: eng, cpu: cpu, appCPU: appCPU, path: path,
+		cfg: cfg, segPool: segPool, agg: agg, ftab: ftab,
+	}
+}
+
+// Get returns a connection for a fresh flow id: recycled from the free
+// list when possible (Reset keeps the scoreboard freelist and batch-buffer
+// capacities warm), freshly constructed otherwise. The receiver is
+// registered on the path's ACK return; the caller adds it to the demux and
+// configures stream mode/callbacks before Start.
+func (p *ConnPool) Get(id int, factory cc.Factory) *PooledConn {
+	p.gets++
+	p.outstanding++
+	if p.outstanding > p.outstandingHW {
+		p.outstandingHW = p.outstanding
+	}
+	if n := len(p.free); n > 0 {
+		pc := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.reuses++
+		pc.Conn.Reset(id, factory)
+		pc.Rx.Reset()
+		return pc
+	}
+	p.created++
+	conn := NewConn(id, p.eng, p.cpu, p.path, p.cfg, factory)
+	conn.SetPool(p.segPool)
+	if p.appCPU != nil {
+		conn.SetAppCPU(p.appCPU)
+	}
+	if p.agg != nil {
+		conn.SetAggregates(p.agg)
+	}
+	if p.ftab != nil {
+		conn.SetFlowTable(p.ftab)
+	}
+	rx := NewReceiver(p.eng, p.path, conn)
+	return &PooledConn{Conn: conn, Rx: rx, dyingIdx: -1}
+}
+
+// Put releases a finished flow's pair back to the pool: the connection is
+// stopped and parked in the dying set until quiescent, then recycled. The
+// caller must already have unregistered the flow everywhere late traffic
+// could reach it (demux, path tombstone, flow table).
+func (p *ConnPool) Put(pc *PooledConn) {
+	if pc.dyingIdx != -1 {
+		panic(fmt.Sprintf("tcp: ConnPool.Put of conn %d already dying", pc.Conn.id))
+	}
+	p.puts++
+	p.outstanding--
+	if p.outstanding < 0 {
+		panic("tcp: ConnPool.Put without matching Get")
+	}
+	pc.Conn.Stop()
+	pc.dyingIdx = len(p.dying)
+	p.dying = append(p.dying, pc)
+	pc.Conn.SetQuietCallback(func() { p.recycle(pc) })
+}
+
+// recycle moves a quiescent pair from the dying set to the free list
+// (O(1) swap-remove; ordering within the sets is irrelevant — ids are
+// fresh on every Get).
+func (p *ConnPool) recycle(pc *PooledConn) {
+	i := pc.dyingIdx
+	last := len(p.dying) - 1
+	p.dying[i] = p.dying[last]
+	p.dying[i].dyingIdx = i
+	p.dying = p.dying[:last]
+	pc.dyingIdx = -1
+	p.free = append(p.free, pc)
+}
+
+// Reclaim force-quiesces every dying connection after the engine has
+// stopped: the CPU-completion events that would have drained them never
+// fire past the run horizon, so their held ACKs go back to the segment
+// pool and the pairs to the free list. After Reclaim a leak-free run shows
+// Outstanding == 0 and Dying == 0.
+func (p *ConnPool) Reclaim() {
+	for len(p.dying) > 0 {
+		pc := p.dying[len(p.dying)-1]
+		pc.Conn.ForceQuiesce()
+		p.dying = p.dying[:len(p.dying)-1]
+		pc.dyingIdx = -1
+		p.free = append(p.free, pc)
+	}
+}
+
+// ConnPoolStats is the pool's audit census.
+type ConnPoolStats struct {
+	// Created counts fresh constructions; Gets and Reuses total and
+	// recycled acquisitions (Reuses/Gets is the churn hit rate).
+	Created, Gets, Reuses int
+	// Puts counts releases.
+	Puts int
+	// Outstanding is live pairs (Get minus Put); OutstandingHW its
+	// high-water mark — the run's peak concurrent flow count.
+	Outstanding, OutstandingHW int
+	// Free and Dying are the pool-held sets at snapshot time.
+	Free, Dying int
+}
+
+// Balanced reports a leak-free census: nothing outstanding, nothing dying.
+func (s ConnPoolStats) Balanced() bool { return s.Outstanding == 0 && s.Dying == 0 }
+
+// Stats returns the pool's census.
+func (p *ConnPool) Stats() ConnPoolStats {
+	return ConnPoolStats{
+		Created: p.created, Gets: p.gets, Reuses: p.reuses, Puts: p.puts,
+		Outstanding: p.outstanding, OutstandingHW: p.outstandingHW,
+		Free: len(p.free), Dying: len(p.dying),
+	}
+}

@@ -106,8 +106,15 @@ func (r *Receiver) OnPacket(pkt *seg.Packet) {
 		r.sendAck(pkt.SentAt, pkt.Retx, pkt.End())
 	}
 	r.conn.pool.PutPacket(pkt)
-	if r.onDelivery != nil && r.rcvNxt > prevNxt {
-		r.onDelivery()
+	if r.rcvNxt > prevNxt {
+		if r.conn.agg != nil {
+			// The single point goodBytes advances: the aggregate counter
+			// stays integer-identical to Σ Receiver.GoodBytes().
+			r.conn.agg.goodBytes += units.DataSize(r.rcvNxt - prevNxt)
+		}
+		if r.onDelivery != nil {
+			r.onDelivery()
+		}
 	}
 }
 
@@ -193,6 +200,23 @@ func (r *Receiver) sendAck(echoSentAt time.Duration, echoRetx bool, ackedEnd int
 	r.path.ReturnAckFlow(a)
 }
 
+// Reset re-initializes the receiver for its connection's next incarnation
+// (the conn has already been Reset with a fresh flow id): reassembly state
+// clears, the GRO flush timer is stopped, and the new id is registered on
+// the path's per-flow ACK return. The ooo slice keeps its capacity.
+func (r *Receiver) Reset() {
+	r.flush.Stop()
+	r.rcvNxt = 0
+	r.ooo = r.ooo[:0]
+	r.pendingBytes = 0
+	r.ceSinceAck = 0
+	r.lastSentAt, r.lastRetx, r.lastEnd, r.haveLast = 0, false, 0, false
+	r.goodBytes = 0
+	r.dupPkts, r.acksSent = 0, 0
+	r.onDelivery = nil
+	r.path.RegisterAckHandler(r.conn.id, r.conn.OnAckArrival)
+}
+
 // GoodBytes returns the in-order bytes delivered so far.
 func (r *Receiver) GoodBytes() units.DataSize { return r.goodBytes }
 
@@ -206,7 +230,13 @@ func (r *Receiver) AcksSent() uint64 { return r.acksSent }
 type Demux struct {
 	rx   map[int]*Receiver
 	pool *seg.Pool
+	// orphans counts packets that arrived for an unregistered flow — under
+	// churn, data still in flight when its flow was retired.
+	orphans uint64
 }
+
+// Orphans returns how many packets arrived for unregistered flows.
+func (d *Demux) Orphans() uint64 { return d.orphans }
 
 // NewDemux returns an empty demultiplexer; install it with path.SetReceiver.
 func NewDemux() *Demux { return &Demux{rx: make(map[int]*Receiver)} }
@@ -218,11 +248,19 @@ func (d *Demux) SetPool(pool *seg.Pool) { d.pool = pool }
 // Add registers a receiver for its connection's flow id.
 func (d *Demux) Add(r *Receiver) { d.rx[r.conn.id] = r }
 
+// Remove unregisters a flow id; packets still in flight toward it fall
+// through Handle's unknown-flow path (released to the pool, counted).
+func (d *Demux) Remove(flow int) { delete(d.rx, flow) }
+
+// Len returns how many flows are currently registered.
+func (d *Demux) Len() int { return len(d.rx) }
+
 // Handle implements the path receiver callback.
 func (d *Demux) Handle(pkt *seg.Packet) {
 	if r, ok := d.rx[pkt.Flow]; ok {
 		r.OnPacket(pkt)
 	} else {
+		d.orphans++
 		d.pool.PutPacket(pkt)
 	}
 }
