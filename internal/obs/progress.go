@@ -82,7 +82,10 @@ func (p *Progress) PointStart(worker, index int, label string) {
 
 // PointDone records completion of grid point index. Points restored from a
 // resume journal arrive as Done without a preceding Start; they count
-// toward done/failed but not toward the per-point duration estimate.
+// toward done/failed but neither toward the per-point duration estimate nor
+// the events/sec rate — their events were executed by the original run, so
+// folding them in would inflate the live rate (and thereby the ETA's
+// denominator) by work this process never did.
 func (p *Progress) PointDone(worker, index int, events uint64, failed bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -90,8 +93,8 @@ func (p *Progress) PointDone(worker, index int, events uint64, failed bool) {
 	if failed {
 		p.failed++
 	}
-	p.events += events
 	if t0, ok := p.starts[index]; ok {
+		p.events += events
 		p.perPoint.Add(time.Since(t0).Seconds())
 		delete(p.starts, index)
 	}

@@ -44,6 +44,43 @@ func TestProgressLifecycle(t *testing.T) {
 	}
 }
 
+// TestProgressReplayedPointsExcludedFromRate pins the journal-resume fix:
+// PointDone without a prior PointStart (a replayed checkpoint) must not feed
+// the events/sec numerator — those events were executed by the original run,
+// and counting them against this process's wall clock inflates the live rate.
+func TestProgressReplayedPointsExcludedFromRate(t *testing.T) {
+	var buf syncBuffer
+	p := NewProgress(&buf, time.Hour) // ticker never fires; we inspect state
+	defer p.Stop()
+	p.BeginExperiment("fig2", 4)
+
+	// Two replayed points with huge event counts: done advances, rate does not.
+	p.PointDone(0, 0, 1_000_000, false)
+	p.PointDone(0, 1, 2_000_000, false)
+	p.mu.Lock()
+	if p.events != 0 {
+		p.mu.Unlock()
+		t.Fatalf("replayed points leaked %d events into the rate", p.events)
+	}
+	if p.done != 2 {
+		p.mu.Unlock()
+		t.Fatalf("done = %d, want 2", p.done)
+	}
+	p.mu.Unlock()
+
+	// A live point (Start then Done) must count fully.
+	p.PointStart(1, 2, "cellC")
+	p.PointDone(1, 2, 750, false)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.events != 750 {
+		t.Fatalf("live point events = %d, want 750", p.events)
+	}
+	if n := p.perPoint.N(); n != 1 {
+		t.Fatalf("perPoint samples = %d, want 1 (replayed points must not feed the ETA)", n)
+	}
+}
+
 func TestProgressConcurrent(t *testing.T) {
 	var buf syncBuffer
 	p := NewProgress(&buf, time.Millisecond)

@@ -39,6 +39,10 @@ const maxViolations = 16
 type Pool struct {
 	freePkt *Packet
 	freeAck *Ack
+	// Freelist tails make PoolSet.Rebalance an O(1) splice instead of a
+	// walk; nil whenever the corresponding head is nil.
+	freePktTail *Packet
+	freeAckTail *Ack
 
 	stats      PoolStats
 	violations []Violation
@@ -107,6 +111,9 @@ func (l *Pool) GetPacket() *Packet {
 		p = &Packet{}
 	} else {
 		l.freePkt = p.next
+		if l.freePkt == nil {
+			l.freePktTail = nil
+		}
 		*p = Packet{}
 	}
 	p.life = lifeLive
@@ -135,6 +142,9 @@ func (l *Pool) PutPacket(p *Packet) {
 	p.life = lifeFree
 	p.prev = nil
 	p.next = l.freePkt
+	if l.freePkt == nil {
+		l.freePktTail = p
+	}
 	l.freePkt = p
 	l.stats.PacketPuts++
 	l.stats.OutstandingPackets--
@@ -158,6 +168,9 @@ func (l *Pool) GetAck() *Ack {
 		a = &Ack{}
 	} else {
 		l.freeAck = a.next
+		if l.freeAck == nil {
+			l.freeAckTail = nil
+		}
 		sacks := a.Sacks[:0]
 		*a = Ack{}
 		a.Sacks = sacks
@@ -187,6 +200,9 @@ func (l *Pool) PutAck(a *Ack) {
 	a.life = lifeFree
 	a.prev = nil
 	a.next = l.freeAck
+	if l.freeAck == nil {
+		l.freeAckTail = a
+	}
 	l.freeAck = a
 	l.stats.AckPuts++
 	l.stats.OutstandingAcks--

@@ -1,0 +1,121 @@
+package seg
+
+import "testing"
+
+// TestPoolSetConservation models the sharded data path: arena 0 (sender)
+// Gets packets that arena 1 (receiver) Puts, and arena 1 Gets ACKs that
+// arena 0 Puts. Per-arena Outstanding counts go negative/positive, but the
+// summed census must obey the single-pool conservation invariant.
+func TestPoolSetConservation(t *testing.T) {
+	s := NewPoolSet(2, 0, 1)
+	tx, rx := s.Arena(0), s.Arena(1)
+
+	var inFlightPkts []*Packet
+	for i := 0; i < 10; i++ {
+		inFlightPkts = append(inFlightPkts, tx.GetPacket())
+	}
+	for _, p := range inFlightPkts[:7] {
+		rx.PutPacket(p)
+	}
+	var inFlightAcks []*Ack
+	for i := 0; i < 7; i++ {
+		inFlightAcks = append(inFlightAcks, rx.GetAck())
+	}
+	for _, a := range inFlightAcks[:5] {
+		tx.PutAck(a)
+	}
+
+	if got := rx.Stats().OutstandingPackets; got != -7 {
+		t.Fatalf("rx outstanding packets %d, want -7", got)
+	}
+	sum := s.Stats()
+	if sum.OutstandingPackets != 3 || sum.OutstandingAcks != 2 {
+		t.Fatalf("summed outstanding = %d pkts / %d acks, want 3 / 2", sum.OutstandingPackets, sum.OutstandingAcks)
+	}
+	if len(s.Violations()) != 0 {
+		t.Fatalf("unexpected violations: %v", s.Violations())
+	}
+}
+
+// TestPoolSetRebalance: after a barrier rebalance the packet-getter arena
+// serves Gets from the freed objects the other arena released — no fresh
+// allocation — and the summed census is unchanged.
+func TestPoolSetRebalance(t *testing.T) {
+	s := NewPoolSet(2, 0, 1)
+	tx, rx := s.Arena(0), s.Arena(1)
+
+	for i := 0; i < 8; i++ {
+		rx.PutPacket(tx.GetPacket())
+		tx.PutAck(rx.GetAck())
+	}
+	before := s.Stats()
+	s.Rebalance()
+	if got := s.Stats(); got != before {
+		t.Fatalf("rebalance changed the census: %+v vs %+v", got, before)
+	}
+
+	for i := 0; i < 8; i++ {
+		if p := tx.GetPacket(); p == nil {
+			t.Fatal("nil packet")
+		}
+		if a := rx.GetAck(); a == nil {
+			t.Fatal("nil ack")
+		}
+	}
+	if tx.Stats().PacketNews != 8 {
+		t.Fatalf("tx allocated %d packets total, want the original 8 only", tx.Stats().PacketNews)
+	}
+	if rx.Stats().AckNews != 8 {
+		t.Fatalf("rx allocated %d acks total, want the original 8 only", rx.Stats().AckNews)
+	}
+}
+
+// TestPoolSetRepeatedRebalance interleaves traffic with barriers and checks
+// the freelist tails stay coherent (a broken splice would lose or cycle the
+// list and show up as allocation or corruption here).
+func TestPoolSetRepeatedRebalance(t *testing.T) {
+	s := NewPoolSet(2, 0, 1)
+	tx, rx := s.Arena(0), s.Arena(1)
+	for round := 0; round < 50; round++ {
+		var pkts []*Packet
+		for i := 0; i < 20; i++ {
+			pkts = append(pkts, tx.GetPacket())
+		}
+		for _, p := range pkts {
+			rx.PutPacket(p)
+		}
+		var acks []*Ack
+		for i := 0; i < 20; i++ {
+			acks = append(acks, rx.GetAck())
+		}
+		for _, a := range acks {
+			tx.PutAck(a)
+		}
+		s.Rebalance()
+	}
+	sum := s.Stats()
+	if sum.OutstandingPackets != 0 || sum.OutstandingAcks != 0 {
+		t.Fatalf("outstanding after drain: %d pkts / %d acks", sum.OutstandingPackets, sum.OutstandingAcks)
+	}
+	// Steady state: only the first round allocated.
+	if sum.PacketNews != 20 || sum.AckNews != 20 {
+		t.Fatalf("news = %d pkts / %d acks, want 20 / 20", sum.PacketNews, sum.AckNews)
+	}
+	if sum.Violations != 0 {
+		t.Fatalf("violations: %v", s.Violations())
+	}
+}
+
+// TestPoolSetShapeValidation rejects invalid arena counts and home indexes.
+func TestPoolSetShapeValidation(t *testing.T) {
+	for _, c := range []struct{ n, pkt, ack int }{{0, 0, 0}, {2, 2, 0}, {2, 0, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPoolSet(%d,%d,%d) did not panic", c.n, c.pkt, c.ack)
+				}
+			}()
+			NewPoolSet(c.n, c.pkt, c.ack)
+		}()
+	}
+}
